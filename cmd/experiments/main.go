@@ -1,0 +1,67 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (plus the ablations DESIGN.md adds) and prints
+// them as aligned text tables.
+//
+// Usage:
+//
+//	experiments                # run the full suite
+//	experiments -list          # list experiment IDs
+//	experiments -only fig4,fig7
+//	experiments -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mrdspark/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	out := flag.String("out", "", "write results to this file as well as stdout")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Suite() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sel := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			sel[strings.TrimSpace(id)] = true
+		}
+		known := map[string]bool{}
+		for _, e := range experiments.Suite() {
+			known[e.ID] = true
+		}
+		for id := range sel {
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	if err := experiments.RunSuite(w, sel); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// Command mrdsim runs one benchmark workload on one simulated cluster
+// under one cache policy and prints the run's metrics — the quickest
+// way to poke at the system.
+//
+// Usage:
+//
+//	mrdsim -workload PR -policy MRD -cache 128M
+//	mrdsim -workload SCC -policy LRU -cluster lrc
+//	mrdsim -workload KM -policy MRD -adhoc -iterations 27
+//	mrdsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mrdspark"
+)
+
+func main() {
+	name := flag.String("workload", "PR", "workload name (see -list)")
+	policy := flag.String("policy", "MRD", "cache policy (see -list)")
+	clusterName := flag.String("cluster", "main", "cluster preset: main, lrc, memtune")
+	cache := flag.String("cache", "", "per-node cache size, e.g. 512M or 1G (default: preset's)")
+	iters := flag.Int("iterations", 0, "override the workload's iteration parameter")
+	adhoc := flag.Bool("adhoc", false, "build the DAG profile one job at a time (no recurring profile)")
+	jobDist := flag.Bool("jobdistance", false, "use job distance instead of stage distance (MRD)")
+	failNode := flag.Int("failnode", 0, "inject a failure of node N-1 (1-based; 0 = none)")
+	failStage := flag.Int("failstage", 0, "executed-stage index at which the failure hits")
+	stages := flag.Bool("stages", false, "print the per-stage execution timeline")
+	traceFile := flag.String("trace", "", "write a JSONL event trace (hits, evictions, prefetches) to this file")
+	list := flag.Bool("list", false, "list workloads and policies and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(mrdspark.Workloads(), " "))
+		fmt.Println("policies: ", strings.Join(mrdspark.Policies(), " "))
+		return
+	}
+
+	cfg := mrdspark.Config{
+		Workload:    *name,
+		Policy:      *policy,
+		Params:      mrdspark.WorkloadParams{Iterations: *iters},
+		AdHoc:       *adhoc,
+		FailNode:    *failNode,
+		FailAtStage: *failStage,
+	}
+	if *jobDist {
+		cfg.MRD.Metric = 1 // core.JobDistance
+	}
+	switch strings.ToLower(*clusterName) {
+	case "main", "":
+		cfg.Cluster = mrdspark.MainCluster()
+	case "lrc":
+		cfg.Cluster = mrdspark.LRCCluster()
+	case "memtune":
+		cfg.Cluster = mrdspark.MemTuneCluster()
+	default:
+		fmt.Fprintf(os.Stderr, "mrdsim: unknown cluster %q (main, lrc, memtune)\n", *clusterName)
+		os.Exit(2)
+	}
+	if *cache != "" {
+		b, err := parseBytes(*cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrdsim:", err)
+			os.Exit(2)
+		}
+		cfg.CachePerNode = b
+	}
+
+	var trace io.Writer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrdsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		trace = f
+	}
+	run, timeline, err := mrdspark.RunTraced(cfg, trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrdsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload:        %s on %s (%d nodes, %s cache/node)\n",
+		run.Workload, cfg.Cluster.Name, cfg.Cluster.Nodes, *cache)
+	fmt.Printf("policy:          %s\n", run.Policy)
+	fmt.Printf("JCT:             %v\n", run.JCTDuration())
+	fmt.Printf("hit ratio:       %.1f%% (%d hits / %d misses)\n", 100*run.HitRatio(), run.Hits, run.Misses)
+	fmt.Printf("miss breakdown:  %d disk promotes, %d recomputes\n", run.DiskPromotes, run.Recomputes)
+	fmt.Printf("evictions:       %d (+%d purged)\n", run.Evictions, run.PurgedBlocks)
+	fmt.Printf("prefetch:        %d issued, %d used, %d wasted (%.0f%% accuracy)\n",
+		run.PrefetchIssued, run.PrefetchUsed, run.PrefetchWasted, 100*run.PrefetchAccuracy())
+	fmt.Printf("I/O:             %s disk read, %s disk write, %s network\n",
+		mb(run.DiskReadBytes), mb(run.DiskWriteBytes), mb(run.NetReadBytes))
+	fmt.Printf("workflow:        %d jobs, %d stages executed, %d skipped, %d tasks\n",
+		run.Jobs, run.StagesExecuted, run.StagesSkipped, run.TasksExecuted)
+	nodes := int64(cfg.Cluster.Nodes)
+	if run.WallTime > 0 && nodes > 0 {
+		fmt.Printf("utilization:     disk %.0f%%, network %.0f%% (mean across nodes)\n",
+			100*float64(run.DiskBusy)/float64(run.WallTime*nodes),
+			100*float64(run.NetBusy)/float64(run.WallTime*nodes))
+	}
+
+	if *stages {
+		fmt.Println("\nper-stage timeline:")
+		fmt.Printf("%-7s %-5s %-11s %-6s %-12s %-12s %s\n",
+			"stage", "job", "kind", "tasks", "start", "end", "duration")
+		for _, sp := range timeline {
+			fmt.Printf("%-7d %-5d %-11s %-6d %-12v %-12v %v\n",
+				sp.StageID, sp.JobID, sp.Kind, sp.Tasks,
+				time.Duration(sp.Start)*time.Microsecond,
+				time.Duration(sp.End)*time.Microsecond,
+				sp.Duration())
+		}
+	}
+}
+
+func mb(b int64) string { return fmt.Sprintf("%.1fMB", float64(b)/(1<<20)) }
+
+// parseBytes parses sizes like 512M, 1G, 64K or plain byte counts.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	return int64(v * float64(mult)), nil
+}

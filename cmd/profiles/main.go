@@ -1,0 +1,137 @@
+// Command profiles manages the store of recurring-application
+// reference-distance profiles (paper §4.1): a first run profiles the
+// application ad-hoc and saves the observed schedule; later runs load
+// it and start with the whole DAG visible.
+//
+// Usage:
+//
+//	profiles -dir ./profiles list
+//	profiles -dir ./profiles record -workload KM          # run ad-hoc, save profile
+//	profiles -dir ./profiles show -workload KM
+//	profiles -dir ./profiles compare -workload KM -cache 180M
+//	profiles -dir ./profiles delete -workload KM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrdspark"
+	"mrdspark/internal/core"
+	"mrdspark/internal/profile"
+	"mrdspark/internal/refdist"
+	"mrdspark/internal/sim"
+)
+
+func main() {
+	dir := flag.String("dir", "./profiles", "profile store directory")
+	wl := flag.String("workload", "", "workload name (record/show/compare/delete)")
+	cacheMB := flag.Int64("cache", 180, "per-node cache in MB for record/compare runs")
+	flag.Parse()
+
+	store, err := profile.NewStore(*dir)
+	if err != nil {
+		fail(err)
+	}
+	cmd := flag.Arg(0)
+	switch cmd {
+	case "list", "":
+		apps, err := store.Apps()
+		if err != nil {
+			fail(err)
+		}
+		if len(apps) == 0 {
+			fmt.Println("no stored profiles")
+			return
+		}
+		for _, app := range apps {
+			e, _, err := store.Load(app)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-12s runs=%d complete=%v discrepancies=%d cachedRDDs=%d\n",
+				e.App, e.Runs, e.Complete, e.Discrepancies, len(e.Profile.Creation))
+		}
+	case "record":
+		run, prof := runOnce(*wl, *cacheMB, nil)
+		entry, err := store.Save(*wl, prof.Observed(), true, prof.Discrepancies())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %s: JCT %v, hit %.1f%% (ad-hoc run %d)\n",
+			*wl, run.JCTDuration(), 100*run.HitRatio(), entry.Runs)
+	case "show":
+		p, ok, err := store.LoadProfile(*wl)
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			fail(fmt.Errorf("no complete profile for %q (use record)", *wl))
+		}
+		fmt.Println(p)
+		for _, id := range p.RDDs() {
+			c, _ := p.Creation(id)
+			fmt.Printf("  RDD%-4d created stage %-4d reads at stages %v\n", id, c.Stage, stagesOf(p, id))
+		}
+	case "compare":
+		adhoc, _ := runOnce(*wl, *cacheMB, nil)
+		stored, ok, err := store.LoadProfile(*wl)
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			fail(fmt.Errorf("no complete profile for %q (use record)", *wl))
+		}
+		rec, _ := runOnce(*wl, *cacheMB, stored)
+		fmt.Printf("%s at %dM cache/node:\n", *wl, *cacheMB)
+		fmt.Printf("  ad-hoc:    JCT %-12v hit %.1f%%\n", adhoc.JCTDuration(), 100*adhoc.HitRatio())
+		fmt.Printf("  recurring: JCT %-12v hit %.1f%%  (%.0f%% of ad-hoc)\n",
+			rec.JCTDuration(), 100*rec.HitRatio(), 100*float64(rec.JCT)/float64(adhoc.JCT))
+	case "delete":
+		if err := store.Delete(*wl); err != nil {
+			fail(err)
+		}
+		fmt.Println("deleted", *wl)
+	default:
+		fail(fmt.Errorf("unknown command %q (list, record, show, compare, delete)", cmd))
+	}
+}
+
+// runOnce simulates the workload with MRD: ad-hoc when stored is nil,
+// recurring otherwise. It returns the run and the profiler used.
+func runOnce(name string, cacheMB int64, stored *refdist.Profile) (mrdspark.Result, *core.AppProfiler) {
+	if name == "" {
+		fail(fmt.Errorf("-workload required"))
+	}
+	spec, err := mrdspark.BuildWorkload(name, mrdspark.WorkloadParams{})
+	if err != nil {
+		fail(err)
+	}
+	var prof *core.AppProfiler
+	if stored == nil {
+		prof = core.NewAppProfiler()
+	} else {
+		prof = core.NewRecurringProfiler(stored)
+	}
+	mgr := core.NewManager(spec.Graph, prof, core.Options{})
+	cl := mrdspark.MainCluster().WithCache(cacheMB << 20)
+	run, err := sim.Run(spec.Graph, cl, mgr, spec.Name)
+	if err != nil {
+		fail(err)
+	}
+	return run, prof
+}
+
+func stagesOf(p *refdist.Profile, id int) []int {
+	var out []int
+	for _, r := range p.Reads(id) {
+		out = append(out, r.Stage)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "profiles:", err)
+	os.Exit(1)
+}

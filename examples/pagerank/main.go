@@ -1,0 +1,40 @@
+// PageRank bakeoff: sweep cache sizes for the PR workload (the
+// I/O-intensive web-search benchmark the paper's intro motivates) and
+// print how each policy's runtime and hit ratio respond — a compact
+// version of the paper's Figs 4 and 7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrdspark"
+)
+
+func main() {
+	policies := []string{"LRU", "LFU", "LRC", "MemTune", "MRD-evict", "MRD"}
+	caches := []int64{64 << 20, 96 << 20, 128 << 20, 192 << 20, 256 << 20}
+
+	fmt.Printf("%-10s", "cache/node")
+	for _, p := range policies {
+		fmt.Printf("  %-18s", p)
+	}
+	fmt.Println()
+
+	for _, cache := range caches {
+		fmt.Printf("%-10s", fmt.Sprintf("%dM", cache>>20))
+		for _, p := range policies {
+			run, err := mrdspark.Run(mrdspark.Config{
+				Workload:     "PR",
+				Policy:       p,
+				CachePerNode: cache,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s", fmt.Sprintf("%7v %5.1f%%", run.JCTDuration().Round(1e6), 100*run.HitRatio()))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncells: job completion time, cache hit ratio")
+}

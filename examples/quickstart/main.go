@@ -1,0 +1,39 @@
+// Quickstart: run one benchmark workload under Spark's default LRU and
+// under MRD on the paper's main cluster, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrdspark"
+)
+
+func main() {
+	cfg := mrdspark.Config{
+		Workload:     "SCC",                  // StronglyConnectedComponents, the paper's best case
+		Cluster:      mrdspark.MainCluster(), // 25 nodes, 4 cores, 500 Mbps (Table 4)
+		CachePerNode: 160 << 20,              // squeeze the storage pool so eviction matters
+	}
+
+	cfg.Policy = "LRU"
+	lru, err := mrdspark.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Policy = "MRD"
+	mrd, err := mrdspark.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s on %d nodes, %d MB cache per node\n",
+		cfg.Workload, cfg.Cluster.Nodes, cfg.CachePerNode>>20)
+	fmt.Printf("  LRU: JCT %-12v hit ratio %5.1f%%  recomputes %d\n",
+		lru.JCTDuration(), 100*lru.HitRatio(), lru.Recomputes)
+	fmt.Printf("  MRD: JCT %-12v hit ratio %5.1f%%  recomputes %d  purged %d\n",
+		mrd.JCTDuration(), 100*mrd.HitRatio(), mrd.Recomputes, mrd.PurgedBlocks)
+	fmt.Printf("  normalized JCT: %.0f%% of LRU (lower is better)\n",
+		100*float64(mrd.JCT)/float64(lru.JCT))
+}

@@ -1,0 +1,81 @@
+// Recurring applications: the paper's §4.1/§5.8 workflow end to end.
+// The first run of K-Means is ad-hoc — MRD learns the DAG one job at a
+// time and every cross-job reference initially looks infinite. The
+// observed profile is saved to a store; the second run loads it and
+// starts with the whole application DAG visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mrdspark"
+	"mrdspark/internal/core"
+	"mrdspark/internal/profile"
+	"mrdspark/internal/refdist"
+	"mrdspark/internal/sim"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mrd-profiles")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := profile.NewStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const app = "KM-default"
+	cl := mrdspark.MainCluster().WithCache(180 << 20)
+	spec, err := mrdspark.BuildWorkload("KM", mrdspark.WorkloadParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First run: no stored profile, so the AppProfiler runs ad-hoc.
+	stored, ok, err := store.LoadProfile(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first run:  stored profile found: %v\n", ok)
+	prof := core.NewAppProfiler()
+	mgr := core.NewManager(spec.Graph, prof, core.Options{})
+	run1, err := sim.Run(spec.Graph, cl, mgr, spec.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ad-hoc:    JCT %v, hit %.1f%%\n", run1.JCTDuration(), 100*run1.HitRatio())
+
+	// Persist what the profiler observed.
+	if _, err := store.Save(app, prof.Observed(), true, prof.Discrepancies()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Second run: load the profile, run in recurring mode.
+	stored, ok, err = store.LoadProfile(app)
+	if err != nil || !ok {
+		log.Fatalf("expected a stored profile, got ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("second run: stored profile found: %v (%s)\n", ok, stored)
+	prof2 := core.NewRecurringProfiler(stored)
+	mgr2 := core.NewManager(spec.Graph, prof2, core.Options{})
+	run2, err := sim.Run(spec.Graph, cl, mgr2, spec.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  recurring: JCT %v, hit %.1f%% (discrepancies: %d)\n",
+		run2.JCTDuration(), 100*run2.HitRatio(), prof2.Discrepancies())
+
+	// The paper's §5.8 point: recurring-mode K-Means should beat the
+	// ad-hoc first run, because KM's 17 jobs hide most references
+	// behind job boundaries.
+	fmt.Printf("recurring vs ad-hoc JCT: %.0f%%\n", 100*float64(run2.JCT)/float64(run1.JCT))
+
+	// Sanity: the stored profile round-trips exactly.
+	if !stored.Equal(refdist.FromData(prof.Observed().Data())) {
+		fmt.Println("WARNING: stored profile does not match the observation")
+	}
+}

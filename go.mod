@@ -1,0 +1,3 @@
+module mrdspark
+
+go 1.22

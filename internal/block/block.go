@@ -1,0 +1,61 @@
+// Package block defines the identity and metadata of cacheable data
+// blocks. A block is one partition of an RDD, mirroring Spark's
+// rdd_<rddID>_<partition> block naming. Blocks are the unit of caching,
+// eviction and prefetching throughout the system.
+package block
+
+import "fmt"
+
+// ID identifies a single RDD partition block, the unit of cache
+// management. It corresponds to Spark's RDDBlockId.
+type ID struct {
+	RDD       int // the owning RDD's ID
+	Partition int // partition index within the RDD
+}
+
+// String renders the ID in Spark's canonical block-name format.
+func (id ID) String() string {
+	return fmt.Sprintf("rdd_%d_%d", id.RDD, id.Partition)
+}
+
+// Less orders IDs first by RDD, then by partition. It provides the
+// deterministic tiebreak order used by policies and tests.
+func (id ID) Less(other ID) bool {
+	if id.RDD != other.RDD {
+		return id.RDD < other.RDD
+	}
+	return id.Partition < other.Partition
+}
+
+// StorageLevel describes where a block's bytes may live, mirroring
+// Spark's StorageLevel (simplified to the levels the paper exercises).
+type StorageLevel int
+
+const (
+	// MemoryOnly blocks live in the memory store and are dropped
+	// (and later recomputed) when evicted. Spark's MEMORY_ONLY.
+	MemoryOnly StorageLevel = iota
+	// MemoryAndDisk blocks are spilled to the local disk store on
+	// eviction and can be reloaded without recomputation.
+	MemoryAndDisk
+)
+
+// String returns the Spark-style name of the storage level.
+func (l StorageLevel) String() string {
+	switch l {
+	case MemoryOnly:
+		return "MEMORY_ONLY"
+	case MemoryAndDisk:
+		return "MEMORY_AND_DISK"
+	default:
+		return fmt.Sprintf("StorageLevel(%d)", int(l))
+	}
+}
+
+// Info carries the immutable metadata of a block known to the block
+// managers: its size and the storage level requested by the program.
+type Info struct {
+	ID    ID
+	Size  int64 // bytes
+	Level StorageLevel
+}

@@ -1,0 +1,86 @@
+package block
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDString(t *testing.T) {
+	tests := []struct {
+		id   ID
+		want string
+	}{
+		{ID{RDD: 0, Partition: 0}, "rdd_0_0"},
+		{ID{RDD: 7, Partition: 12}, "rdd_7_12"},
+		{ID{RDD: 103, Partition: 5}, "rdd_103_5"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestIDLess(t *testing.T) {
+	tests := []struct {
+		a, b ID
+		want bool
+	}{
+		{ID{1, 0}, ID{2, 0}, true},
+		{ID{2, 0}, ID{1, 0}, false},
+		{ID{1, 3}, ID{1, 4}, true},
+		{ID{1, 4}, ID{1, 3}, false},
+		{ID{1, 3}, ID{1, 3}, false},
+		{ID{1, 9}, ID{2, 0}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestIDLessIsStrictWeakOrdering(t *testing.T) {
+	// Irreflexive and asymmetric over random pairs; total over
+	// distinct IDs.
+	f := func(a, b ID) bool {
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDSortOrder(t *testing.T) {
+	ids := []ID{{3, 1}, {0, 5}, {3, 0}, {0, 0}, {1, 2}}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	want := []ID{{0, 0}, {0, 5}, {1, 2}, {3, 0}, {3, 1}}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v (full: %v)", i, ids[i], want[i], ids)
+		}
+	}
+}
+
+func TestStorageLevelString(t *testing.T) {
+	if got := MemoryOnly.String(); got != "MEMORY_ONLY" {
+		t.Errorf("MemoryOnly.String() = %q", got)
+	}
+	if got := MemoryAndDisk.String(); got != "MEMORY_AND_DISK" {
+		t.Errorf("MemoryAndDisk.String() = %q", got)
+	}
+	if got := StorageLevel(42).String(); got != "StorageLevel(42)" {
+		t.Errorf("unknown level String() = %q", got)
+	}
+}
+
+func TestInfoCarriesIdentity(t *testing.T) {
+	info := Info{ID: ID{RDD: 4, Partition: 2}, Size: 1 << 20, Level: MemoryAndDisk}
+	if info.ID.RDD != 4 || info.ID.Partition != 2 || info.Size != 1<<20 || info.Level != MemoryAndDisk {
+		t.Errorf("Info fields corrupted: %+v", info)
+	}
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/policy"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Main()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	bad := []Config{
+		{Name: "x", Nodes: 0, CoresPerNode: 1, CacheBytes: 1, DiskBytesPerSec: 1, NetBytesPerSec: 1},
+		{Name: "x", Nodes: 1, CoresPerNode: 0, CacheBytes: 1, DiskBytesPerSec: 1, NetBytesPerSec: 1},
+		{Name: "x", Nodes: 1, CoresPerNode: 1, CacheBytes: 0, DiskBytesPerSec: 1, NetBytesPerSec: 1},
+		{Name: "x", Nodes: 1, CoresPerNode: 1, CacheBytes: 1, DiskBytesPerSec: 0, NetBytesPerSec: 1},
+		{Name: "x", Nodes: 1, CoresPerNode: 1, CacheBytes: 1, DiskBytesPerSec: 1, NetBytesPerSec: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPresetsMatchTable4(t *testing.T) {
+	m := Main()
+	if m.Nodes != 25 || m.CoresPerNode != 4 {
+		t.Errorf("Main = %d nodes, %d cores; Table 4 says 25/4", m.Nodes, m.CoresPerNode)
+	}
+	l := LRC()
+	if l.Nodes != 20 || l.CoresPerNode != 2 {
+		t.Errorf("LRC = %d/%d; Table 4 says 20/2", l.Nodes, l.CoresPerNode)
+	}
+	mt := MemTune()
+	if mt.Nodes != 6 || mt.CoresPerNode != 8 {
+		t.Errorf("MemTune = %d/%d; Table 4 says 6/8", mt.Nodes, mt.CoresPerNode)
+	}
+	// Network ordering per Table 4: MemTune (1 Gbps) > Main (500) > LRC (450).
+	if !(mt.NetBytesPerSec > m.NetBytesPerSec && m.NetBytesPerSec > l.NetBytesPerSec) {
+		t.Error("network bandwidth ordering violates Table 4")
+	}
+}
+
+func TestWithCacheAndTotal(t *testing.T) {
+	c := Main().WithCache(128 * MB)
+	if c.CacheBytes != 128*MB {
+		t.Errorf("WithCache = %d", c.CacheBytes)
+	}
+	if Main().CacheBytes == 128*MB {
+		t.Error("WithCache mutated the receiver")
+	}
+	if c.TotalCache() != 128*MB*25 {
+		t.Errorf("TotalCache = %d", c.TotalCache())
+	}
+}
+
+func bid(rdd, part int) block.ID { return block.ID{RDD: rdd, Partition: part} }
+
+func info(rdd, part int, size int64) block.Info {
+	return block.Info{ID: bid(rdd, part), Size: size, Level: block.MemoryAndDisk}
+}
+
+func newLRUStore(capacity int64) *MemoryStore {
+	return NewMemoryStore(capacity, policy.NewLRU().NewNodePolicy(0))
+}
+
+func TestMemoryStorePutGetRemove(t *testing.T) {
+	s := newLRUStore(10)
+	if s.Get(bid(1, 0)) {
+		t.Error("Get on empty store")
+	}
+	ev, ok := s.Put(info(1, 0, 4))
+	if !ok || len(ev) != 0 {
+		t.Fatalf("Put = %v, %v", ev, ok)
+	}
+	if !s.Contains(bid(1, 0)) || !s.Get(bid(1, 0)) {
+		t.Error("block not resident after Put")
+	}
+	if s.Used() != 4 || s.Free() != 6 || s.Len() != 1 {
+		t.Errorf("accounting: used=%d free=%d len=%d", s.Used(), s.Free(), s.Len())
+	}
+	if !s.Remove(bid(1, 0)) {
+		t.Error("Remove failed")
+	}
+	if s.Remove(bid(1, 0)) {
+		t.Error("double Remove succeeded")
+	}
+	if s.Used() != 0 {
+		t.Errorf("used after remove = %d", s.Used())
+	}
+}
+
+func TestMemoryStoreEvictsLRUUnderPressure(t *testing.T) {
+	s := newLRUStore(10)
+	s.Put(info(1, 0, 4))
+	s.Put(info(2, 0, 4))
+	s.Get(bid(1, 0)) // 2 is now LRU
+	ev, ok := s.Put(info(3, 0, 4))
+	if !ok {
+		t.Fatal("Put failed")
+	}
+	if len(ev) != 1 || ev[0].ID != bid(2, 0) {
+		t.Errorf("evicted %v, want rdd_2_0", ev)
+	}
+	if s.Evictions != 1 {
+		t.Errorf("eviction counter = %d", s.Evictions)
+	}
+}
+
+func TestMemoryStoreRejectsOversized(t *testing.T) {
+	s := newLRUStore(10)
+	if _, ok := s.Put(info(1, 0, 11)); ok {
+		t.Error("oversized block accepted")
+	}
+	s.Put(info(2, 0, 10))
+	if _, ok := s.Put(info(3, 0, 10)); !ok {
+		t.Error("exact-fit replacement failed")
+	}
+}
+
+func TestMemoryStoreResidentReinsertIsTouch(t *testing.T) {
+	s := newLRUStore(10)
+	s.Put(info(1, 0, 4))
+	s.Put(info(2, 0, 4))
+	s.Put(info(1, 0, 4)) // touch: 2 becomes LRU
+	if s.Used() != 8 {
+		t.Errorf("used after re-insert = %d, want 8", s.Used())
+	}
+	ev, _ := s.Put(info(3, 0, 4))
+	if len(ev) != 1 || ev[0].ID != bid(2, 0) {
+		t.Errorf("evicted %v, want rdd_2_0 (re-insert must refresh recency)", ev)
+	}
+}
+
+func TestMemoryStorePutFailsWhenNothingEvictable(t *testing.T) {
+	// A policy that refuses to name victims (here: empty resident set
+	// seen through a filter that always rejects) must fail the Put.
+	s := NewMemoryStore(10, refuseAll{})
+	s.blocks[bid(9, 9)] = info(9, 9, 10)
+	s.used = 10
+	if _, ok := s.Put(info(1, 0, 4)); ok {
+		t.Error("Put succeeded without space or victims")
+	}
+}
+
+// refuseAll is a policy that never yields a victim.
+type refuseAll struct{}
+
+func (refuseAll) OnAdd(block.ID)                              {}
+func (refuseAll) OnAccess(block.ID)                           {}
+func (refuseAll) OnRemove(block.ID)                           {}
+func (refuseAll) Victim(func(block.ID) bool) (block.ID, bool) { return block.ID{}, false }
+
+func TestPutGuardedAllAllowed(t *testing.T) {
+	s := newLRUStore(10)
+	s.Put(info(1, 0, 5))
+	s.Put(info(2, 0, 5))
+	ev, ok := s.PutGuarded(info(3, 0, 7), func(block.ID) bool { return true })
+	if !ok || len(ev) != 2 {
+		t.Fatalf("guarded put = %v, %v", ev, ok)
+	}
+	if !s.Contains(bid(3, 0)) || s.Used() != 7 {
+		t.Errorf("store state wrong: used=%d", s.Used())
+	}
+}
+
+func TestPutGuardedAbortsWithoutPartialEviction(t *testing.T) {
+	s := newLRUStore(10)
+	s.Put(info(1, 0, 5))
+	s.Put(info(2, 0, 5))
+	// Allow evicting rdd 1 but not rdd 2: needs both, so it must
+	// abort and leave everything resident.
+	ev, ok := s.PutGuarded(info(3, 0, 7), func(v block.ID) bool { return v.RDD == 1 })
+	if ok || len(ev) != 0 {
+		t.Fatalf("guarded put should abort: %v, %v", ev, ok)
+	}
+	if !s.Contains(bid(1, 0)) || !s.Contains(bid(2, 0)) {
+		t.Error("abort evicted blocks")
+	}
+	if s.Evictions != 0 {
+		t.Errorf("evictions counted on abort: %d", s.Evictions)
+	}
+}
+
+func TestPutGuardedResidentAndOversized(t *testing.T) {
+	s := newLRUStore(10)
+	s.Put(info(1, 0, 5))
+	if _, ok := s.PutGuarded(info(1, 0, 5), func(block.ID) bool { return false }); !ok {
+		t.Error("guarded re-insert of resident block failed")
+	}
+	if _, ok := s.PutGuarded(info(2, 0, 11), func(block.ID) bool { return true }); ok {
+		t.Error("guarded put of oversized block succeeded")
+	}
+}
+
+func TestClearEmptiesStore(t *testing.T) {
+	s := newLRUStore(10)
+	s.Put(info(1, 0, 4))
+	s.Put(info(2, 0, 4))
+	s.Clear()
+	if s.Len() != 0 || s.Used() != 0 {
+		t.Errorf("after Clear: len=%d used=%d", s.Len(), s.Used())
+	}
+	if _, ok := s.Put(info(3, 0, 10)); !ok {
+		t.Error("store unusable after Clear")
+	}
+}
+
+func TestDiskStore(t *testing.T) {
+	d := NewDiskStore()
+	if d.Has(bid(1, 0)) {
+		t.Error("empty disk has block")
+	}
+	d.Put(bid(1, 0), 42)
+	if !d.Has(bid(1, 0)) || d.Size(bid(1, 0)) != 42 || d.Len() != 1 {
+		t.Error("disk put/get broken")
+	}
+	d.Remove(bid(1, 0))
+	if d.Has(bid(1, 0)) {
+		t.Error("remove failed")
+	}
+	d.Put(bid(2, 0), 1)
+	d.Clear()
+	if d.Len() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+// TestStoreOccupancyInvariant is a property test: under random
+// operations with any of the simple policies, occupancy never exceeds
+// capacity and the byte accounting matches the resident set exactly.
+func TestStoreOccupancyInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	factories := []policy.Factory{policy.NewLRU(), policy.NewFIFO(), policy.NewLFU()}
+	for trial := 0; trial < 60; trial++ {
+		capacity := int64(16 + rng.Intn(64))
+		s := NewMemoryStore(capacity, factories[trial%len(factories)].NewNodePolicy(0))
+		for op := 0; op < 500; op++ {
+			id := bid(rng.Intn(6), rng.Intn(4))
+			size := int64(1 + rng.Intn(20))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				s.Put(block.Info{ID: id, Size: size})
+			case 3:
+				s.Get(id)
+			case 4:
+				s.Remove(id)
+			}
+			if s.Used() > capacity {
+				t.Fatalf("trial %d: used %d > capacity %d", trial, s.Used(), capacity)
+			}
+			var sum int64
+			for _, rid := range s.Blocks() {
+				if !s.Contains(rid) {
+					t.Fatalf("trial %d: Blocks() lists non-resident %v", trial, rid)
+				}
+				sum += s.blocks[rid].Size
+			}
+			if sum != s.Used() {
+				t.Fatalf("trial %d: accounting drift: sum %d != used %d", trial, sum, s.Used())
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package cluster provides the worker-node substrate the simulator
+// schedules onto: per-node memory and disk stores driven by a cache
+// policy, and the cluster configurations of the paper's Table 4.
+package cluster
+
+import "fmt"
+
+// MB and related constants express byte sizes readably.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// Config describes a homogeneous cluster (the paper's testbeds are
+// homogeneous VMs). Bandwidths are bytes per second of simulated time.
+type Config struct {
+	Name         string
+	Nodes        int
+	CoresPerNode int
+	// CacheBytes is the storage-pool capacity per node — the Spark
+	// storage memory the experiments vary via spark.memory.fraction.
+	CacheBytes int64
+	// DiskBytesPerSec is the local-disk bandwidth per node, shared by
+	// HDFS reads, shuffle I/O, spills and prefetches.
+	DiskBytesPerSec int64
+	// NetBytesPerSec is the per-node NIC bandwidth used by shuffle
+	// remote reads.
+	NetBytesPerSec int64
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster %q: need at least one node, got %d", c.Name, c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("cluster %q: need at least one core per node, got %d", c.Name, c.CoresPerNode)
+	case c.CacheBytes <= 0:
+		return fmt.Errorf("cluster %q: cache capacity must be positive, got %d", c.Name, c.CacheBytes)
+	case c.DiskBytesPerSec <= 0:
+		return fmt.Errorf("cluster %q: disk bandwidth must be positive, got %d", c.Name, c.DiskBytesPerSec)
+	case c.NetBytesPerSec <= 0:
+		return fmt.Errorf("cluster %q: network bandwidth must be positive, got %d", c.Name, c.NetBytesPerSec)
+	}
+	return nil
+}
+
+// WithCache returns a copy of the config with the per-node cache
+// capacity replaced — the experiments' cache-size sweeps.
+func (c Config) WithCache(bytes int64) Config {
+	c.CacheBytes = bytes
+	return c
+}
+
+// TotalCache returns the cluster-wide cache capacity.
+func (c Config) TotalCache() int64 { return c.CacheBytes * int64(c.Nodes) }
+
+// Main returns the paper's main 25-node testbed (Table 4): 4 vCPUs and
+// a 500 Mbps network per node. The default per-node cache models
+// Spark's storage pool out of 8 GB VMs; experiments override it.
+func Main() Config {
+	return Config{
+		Name:            "Main",
+		Nodes:           25,
+		CoresPerNode:    4,
+		CacheBytes:      1 * GB,
+		DiskBytesPerSec: 35 * MB,      // commodity virtualized disk
+		NetBytesPerSec:  500 * MB / 8, // 500 Mbps
+	}
+}
+
+// LRC returns the 20-node Amazon EC2 m4.large equivalent used for the
+// LRC comparison: 2 vCPUs, 450 Mbps.
+func LRC() Config {
+	return Config{
+		Name:            "LRC",
+		Nodes:           20,
+		CoresPerNode:    2,
+		CacheBytes:      1 * GB,
+		DiskBytesPerSec: 30 * MB,
+		NetBytesPerSec:  450 * MB / 8,
+	}
+}
+
+// MemTune returns the 6-node System G equivalent used for the MemTune
+// comparison: 8 vCPUs, 1 Gbps.
+func MemTune() Config {
+	return Config{
+		Name:            "MemTune",
+		Nodes:           6,
+		CoresPerNode:    8,
+		CacheBytes:      1 * GB,
+		DiskBytesPerSec: 40 * MB,
+		NetBytesPerSec:  1000 * MB / 8,
+	}
+}

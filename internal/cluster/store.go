@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/policy"
+)
+
+// MemoryStore is one node's storage-memory pool (Spark's MemoryStore):
+// a byte-capacity-bounded set of blocks whose evictions are decided by
+// the attached policy. It is the component every cache policy
+// ultimately drives.
+type MemoryStore struct {
+	capacity int64
+	used     int64
+	blocks   map[block.ID]block.Info
+	pol      policy.Policy
+
+	// Evictions counts demand evictions (victim selection under
+	// pressure); proactive removals via Remove are counted by the
+	// caller.
+	Evictions int64
+}
+
+// NewMemoryStore creates a store with the given capacity driven by the
+// given per-node policy.
+func NewMemoryStore(capacity int64, pol policy.Policy) *MemoryStore {
+	return &MemoryStore{capacity: capacity, blocks: map[block.ID]block.Info{}, pol: pol}
+}
+
+// Capacity returns the store's byte capacity.
+func (s *MemoryStore) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes currently occupied.
+func (s *MemoryStore) Used() int64 { return s.used }
+
+// Free returns the unoccupied bytes.
+func (s *MemoryStore) Free() int64 { return s.capacity - s.used }
+
+// Len returns the number of resident blocks.
+func (s *MemoryStore) Len() int { return len(s.blocks) }
+
+// Contains reports residency without touching policy state.
+func (s *MemoryStore) Contains(id block.ID) bool {
+	_, ok := s.blocks[id]
+	return ok
+}
+
+// Get reports a read: on a hit the policy's recency/accounting hooks
+// fire and Get returns true.
+func (s *MemoryStore) Get(id block.ID) bool {
+	if _, ok := s.blocks[id]; !ok {
+		return false
+	}
+	s.pol.OnAccess(id)
+	return true
+}
+
+// Put inserts the block, evicting victims chosen by the policy until
+// it fits. It returns the evicted blocks and whether the insert
+// succeeded; a block larger than the whole store, or one that cannot
+// fit because every resident block is protected, is rejected (Spark
+// likewise refuses to cache oversized blocks). Re-inserting a resident
+// block is a no-op touch.
+func (s *MemoryStore) Put(info block.Info) (evicted []block.Info, ok bool) {
+	if _, resident := s.blocks[info.ID]; resident {
+		s.pol.OnAccess(info.ID)
+		return nil, true
+	}
+	if info.Size > s.capacity {
+		return nil, false
+	}
+	for s.used+info.Size > s.capacity {
+		victim, found := s.pol.Victim(func(v block.ID) bool { return v != info.ID })
+		if !found {
+			// Roll back nothing: evictions already performed stand
+			// (Spark frees the space it reclaimed); the insert fails.
+			return evicted, false
+		}
+		vInfo, resident := s.blocks[victim]
+		if !resident {
+			panic(fmt.Sprintf("cluster: policy chose non-resident victim %v", victim))
+		}
+		s.dropLocked(vInfo)
+		s.Evictions++
+		evicted = append(evicted, vInfo)
+	}
+	s.blocks[info.ID] = info
+	s.used += info.Size
+	s.pol.OnAdd(info.ID)
+	return evicted, true
+}
+
+// PutGuarded inserts like Put, but first plans the full victim set and
+// aborts — evicting nothing — unless every victim passes allow. It is
+// the arrival path for arbitrated prefetches: a prefetch should not
+// displace blocks the policy considers at least as valuable.
+func (s *MemoryStore) PutGuarded(info block.Info, allow func(victim block.ID) bool) (evicted []block.Info, ok bool) {
+	if _, resident := s.blocks[info.ID]; resident {
+		s.pol.OnAccess(info.ID)
+		return nil, true
+	}
+	if info.Size > s.capacity {
+		return nil, false
+	}
+	picked := map[block.ID]bool{}
+	var plan []block.Info
+	freed := s.Free()
+	for freed < info.Size {
+		victim, found := s.pol.Victim(func(v block.ID) bool {
+			return v != info.ID && !picked[v]
+		})
+		if !found || !allow(victim) {
+			return nil, false
+		}
+		picked[victim] = true
+		vInfo := s.blocks[victim]
+		plan = append(plan, vInfo)
+		freed += vInfo.Size
+	}
+	for _, vInfo := range plan {
+		s.dropLocked(vInfo)
+		s.Evictions++
+	}
+	s.blocks[info.ID] = info
+	s.used += info.Size
+	s.pol.OnAdd(info.ID)
+	return plan, true
+}
+
+// Remove drops the block without policy-initiated victim selection
+// (purge orders, failure injection). It reports whether the block was
+// resident.
+func (s *MemoryStore) Remove(id block.ID) bool {
+	info, ok := s.blocks[id]
+	if !ok {
+		return false
+	}
+	s.dropLocked(info)
+	return true
+}
+
+// Clear empties the store (node failure).
+func (s *MemoryStore) Clear() {
+	for id, info := range s.blocks {
+		_ = id
+		s.dropLocked(info)
+	}
+}
+
+func (s *MemoryStore) dropLocked(info block.Info) {
+	delete(s.blocks, info.ID)
+	s.used -= info.Size
+	s.pol.OnRemove(info.ID)
+}
+
+// Blocks returns a snapshot of resident block IDs (test helper; order
+// unspecified).
+func (s *MemoryStore) Blocks() []block.ID {
+	out := make([]block.ID, 0, len(s.blocks))
+	for id := range s.blocks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DiskStore is one node's local-disk block set: spilled cache blocks
+// and HDFS-resident source data. Capacity is not modeled (the paper's
+// nodes have 200 GB disks, never a constraint); bandwidth is charged
+// by the simulator's device queues.
+type DiskStore struct {
+	blocks map[block.ID]int64
+}
+
+// NewDiskStore creates an empty disk store.
+func NewDiskStore() *DiskStore { return &DiskStore{blocks: map[block.ID]int64{}} }
+
+// Has reports whether the block's bytes are on disk.
+func (d *DiskStore) Has(id block.ID) bool {
+	_, ok := d.blocks[id]
+	return ok
+}
+
+// Put records the block on disk.
+func (d *DiskStore) Put(id block.ID, size int64) { d.blocks[id] = size }
+
+// Size returns the block's on-disk size, or 0 if absent.
+func (d *DiskStore) Size(id block.ID) int64 { return d.blocks[id] }
+
+// Remove drops the block from disk.
+func (d *DiskStore) Remove(id block.ID) { delete(d.blocks, id) }
+
+// Clear empties the disk (node failure takes local data with it).
+func (d *DiskStore) Clear() { d.blocks = map[block.ID]int64{} }
+
+// Len returns the number of blocks on disk.
+func (d *DiskStore) Len() int { return len(d.blocks) }

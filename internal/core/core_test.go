@@ -1,0 +1,363 @@
+package core
+
+import (
+	"testing"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/refdist"
+)
+
+// fakeOps drives the manager without a simulator.
+type fakeOps struct {
+	nodes      int
+	resident   map[block.ID]bool
+	onDisk     map[block.ID]bool
+	free       map[int]int64
+	capacity   int64
+	evicted    []block.ID
+	prefetched []block.Info
+	used       int64
+	wasted     int64
+}
+
+func newFakeOps(nodes int, capacity int64) *fakeOps {
+	f := &fakeOps{
+		nodes: nodes, capacity: capacity,
+		resident: map[block.ID]bool{}, onDisk: map[block.ID]bool{},
+		free: map[int]int64{},
+	}
+	for i := 0; i < nodes; i++ {
+		f.free[i] = capacity
+	}
+	return f
+}
+
+func (f *fakeOps) NumNodes() int                    { return f.nodes }
+func (f *fakeOps) HomeNode(id block.ID) int         { return id.Partition % f.nodes }
+func (f *fakeOps) Resident(_ int, id block.ID) bool { return f.resident[id] }
+func (f *fakeOps) OnDisk(_ int, id block.ID) bool   { return f.onDisk[id] }
+func (f *fakeOps) FreeBytes(n int) int64            { return f.free[n] }
+func (f *fakeOps) CapacityBytes(int) int64          { return f.capacity }
+
+func (f *fakeOps) Evict(_ int, id block.ID) bool {
+	if !f.resident[id] {
+		return false
+	}
+	delete(f.resident, id)
+	f.evicted = append(f.evicted, id)
+	return true
+}
+
+func (f *fakeOps) Prefetch(_ int, info block.Info) {
+	f.prefetched = append(f.prefetched, info)
+}
+
+func (f *fakeOps) PrefetchOutcomes() (used, wasted int64) { return f.used, f.wasted }
+
+// testGraph builds a graph with distinct reference patterns:
+//
+//	near  — read at stages 1 and 3
+//	far   — read at stage 5 only
+//	dead  — never read after creation
+//
+// All three are created by the stage-0 job; stages 2 and 4 are padding.
+func testGraph(t *testing.T) (*dag.Graph, *dag.RDD, *dag.RDD, *dag.RDD) {
+	t.Helper()
+	g := dag.New()
+	src := g.Source("in", 4, 1<<20)
+	near := src.Map("near").Persist(block.MemoryAndDisk)
+	far := src.Map("far").Persist(block.MemoryAndDisk)
+	dead := src.Map("dead").Persist(block.MemoryAndDisk)
+	g.Count(near.ZipPartitions("c1", far).ZipPartitions("c2", dead)) // stage 0
+	g.Count(near.Map("u1"))                                          // stage 1
+	g.Count(src.Map("pad1"))                                         // stage 2
+	g.Count(near.Map("u2"))                                          // stage 3
+	g.Count(src.Map("pad2"))                                         // stage 4
+	g.Count(far.Map("u3"))                                           // stage 5
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, near, far, dead
+}
+
+func submitAll(m *Manager, g *dag.Graph) {
+	for _, j := range g.Jobs {
+		m.OnJobSubmit(j)
+	}
+}
+
+// profileOf builds the whole-application profile of a test graph.
+func profileOf(g *dag.Graph) *refdist.Profile { return refdist.FromGraph(g) }
+
+func TestManagerTableDistances(t *testing.T) {
+	g, near, far, dead := testGraph(t)
+	m := NewFull(g)
+	m.OnStageStart(1, 1)
+	// near's stage-1 reference is being consumed by the current
+	// stage; the table holds the distance to its NEXT read (stage 3).
+	if d := m.distance(near.ID); d != 2 {
+		t.Errorf("near distance at its read stage = %d, want 2 (next read)", d)
+	}
+	if d := m.distance(far.ID); d != 4 {
+		t.Errorf("far distance = %d, want 4", d)
+	}
+	if d := m.distance(dead.ID); !refdist.IsInfinite(d) {
+		t.Errorf("dead distance = %d, want infinite", d)
+	}
+	m.OnStageStart(4, 4)
+	if d := m.distance(near.ID); !refdist.IsInfinite(d) {
+		t.Errorf("near past last read = %d, want infinite", d)
+	}
+	if d := m.distance(far.ID); d != 1 {
+		t.Errorf("far distance at stage 4 = %d, want 1", d)
+	}
+}
+
+func TestManagerJobDistanceMetric(t *testing.T) {
+	g, near, far, _ := testGraph(t)
+	m := NewManager(g, NewRecurringProfiler(refdist.FromGraph(g)), Options{Metric: JobDistance})
+	m.OnStageStart(1, 1)
+	// The coarse job metric does not discretize within the job: the
+	// current job's reference keeps distance 0.
+	if d := m.distance(near.ID); d != 0 {
+		t.Errorf("near job distance = %d, want 0", d)
+	}
+	if d := m.distance(far.ID); d != 4 {
+		t.Errorf("far job distance = %d, want 4 (jobs, not stages)", d)
+	}
+}
+
+func TestAdHocManagerSeesOnlySubmittedJobs(t *testing.T) {
+	g, near, _, _ := testGraph(t)
+	m := NewManager(g, NewAppProfiler(), Options{})
+	m.OnJobSubmit(g.Jobs[0])
+	m.OnStageStart(0, 0)
+	// Only job 0 known: near has no known reads -> infinite.
+	if d := m.distance(near.ID); !refdist.IsInfinite(d) {
+		t.Errorf("ad-hoc unknown future = %d, want infinite", d)
+	}
+	m.OnJobSubmit(g.Jobs[1])
+	m.OnStageStart(0, 1)
+	if d := m.distance(near.ID); d != 1 {
+		t.Errorf("after second job submit, distance = %d, want 1", d)
+	}
+	// The job-1 read at stage 1 is all the profile knows; once the
+	// execution reaches it, the distance collapses to infinite again.
+	m.OnStageStart(1, 1)
+	if d := m.distance(near.ID); !refdist.IsInfinite(d) {
+		t.Errorf("ad-hoc past the known read = %d, want infinite", d)
+	}
+}
+
+func TestPurgeEvictsInfiniteDistanceBlocks(t *testing.T) {
+	g, near, _, dead := testGraph(t)
+	m := NewFull(g)
+	ops := newFakeOps(2, 64<<20)
+	m.Attach(ops)
+	for p := 0; p < 4; p++ {
+		ops.resident[near.Block(p)] = true
+		ops.resident[dead.Block(p)] = true
+	}
+	ops.free[0], ops.free[1] = 0, 0 // no room: no prefetch noise
+	m.OnStageStart(1, 1)
+	if len(ops.evicted) != 4 {
+		t.Fatalf("purged %d blocks, want dead's 4: %v", len(ops.evicted), ops.evicted)
+	}
+	for _, id := range ops.evicted {
+		if id.RDD != dead.ID {
+			t.Errorf("purged wrong block %v", id)
+		}
+	}
+	st := m.Stats()
+	if st.PurgeOrders != 1 || st.PurgedBlocks != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPurgeDisabled(t *testing.T) {
+	g, _, _, dead := testGraph(t)
+	m := NewManager(g, NewRecurringProfiler(refdist.FromGraph(g)), Options{DisablePurge: true})
+	ops := newFakeOps(2, 64<<20)
+	m.Attach(ops)
+	ops.resident[dead.Block(0)] = true
+	m.OnStageStart(1, 1)
+	if len(ops.evicted) != 0 {
+		t.Errorf("purge ran despite DisablePurge: %v", ops.evicted)
+	}
+}
+
+func TestPrefetchSelectsLowestDistanceFirst(t *testing.T) {
+	g, near, far, _ := testGraph(t)
+	m := NewFull(g)
+	ops := newFakeOps(1, 1<<30)
+	m.Attach(ops)
+	for p := 0; p < 4; p++ {
+		ops.onDisk[near.Block(p)] = true
+		ops.onDisk[far.Block(p)] = true
+	}
+	m.OnStageStart(2, 2) // near at distance 1, far at distance 3
+	if len(ops.prefetched) != 8 {
+		t.Fatalf("prefetched %d, want all 8", len(ops.prefetched))
+	}
+	for i := 0; i < 4; i++ {
+		if ops.prefetched[i].ID.RDD != near.ID {
+			t.Errorf("prefetch %d = %v, want near first (lower distance)", i, ops.prefetched[i].ID)
+		}
+	}
+}
+
+func TestPrefetchSkipsResidentAndMissingAndDead(t *testing.T) {
+	g, near, _, dead := testGraph(t)
+	m := NewFull(g)
+	ops := newFakeOps(1, 1<<30)
+	m.Attach(ops)
+	ops.onDisk[near.Block(0)] = true
+	ops.resident[near.Block(0)] = true // already in memory: skip
+	ops.onDisk[near.Block(1)] = true   // prefetchable
+	// near.Block(2) not on disk: unprefetchable.
+	ops.onDisk[dead.Block(0)] = true // infinite distance: skip
+	m.OnStageStart(2, 2)             // near next read at stage 3
+	if len(ops.prefetched) != 1 || ops.prefetched[0].ID != near.Block(1) {
+		t.Errorf("prefetched = %v, want exactly near block 1", ops.prefetched)
+	}
+}
+
+func TestPrefetchThresholdGatesForcedPrefetch(t *testing.T) {
+	g, near, _, _ := testGraph(t)
+	for p := 0; p < 4; p++ {
+		_ = p
+	}
+	// Case 1: free below threshold and block does not fit: no prefetch.
+	m := NewFull(g)
+	ops := newFakeOps(1, 100<<20)
+	m.Attach(ops)
+	ops.onDisk[near.Block(0)] = true
+	ops.free[0] = 10 << 20 // 10% free < 25% threshold; block is 1MB and fits though
+	m.OnStageStart(2, 2)
+	if len(ops.prefetched) != 1 {
+		t.Fatalf("fitting block not prefetched")
+	}
+
+	// Case 2: block larger than free but free above threshold: forced.
+	m2 := NewFull(g)
+	ops2 := newFakeOps(1, 100<<20)
+	m2.Attach(ops2)
+	ops2.onDisk[near.Block(0)] = true
+	ops2.free[0] = 30 << 20
+	// Make the block bigger than free memory.
+	near.PartSize = 40 << 20
+	defer func() { near.PartSize = 1 << 20 }()
+	m2.OnStageStart(2, 2)
+	if len(ops2.prefetched) != 1 {
+		t.Errorf("forced prefetch did not fire above threshold")
+	}
+	if m2.Stats().ForcedPrefetch != 1 {
+		t.Errorf("forced prefetch not counted: %+v", m2.Stats())
+	}
+
+	// Case 3: free below threshold and block does not fit: nothing.
+	m3 := NewFull(g)
+	ops3 := newFakeOps(1, 100<<20)
+	m3.Attach(ops3)
+	ops3.onDisk[near.Block(0)] = true
+	ops3.free[0] = 10 << 20
+	near.PartSize = 40 << 20
+	m3.OnStageStart(2, 2)
+	if len(ops3.prefetched) != 0 {
+		t.Errorf("prefetch fired below threshold without fitting: %v", ops3.prefetched)
+	}
+}
+
+func TestPrefetchSkipsBlocksLargerThanCapacity(t *testing.T) {
+	g, near, _, _ := testGraph(t)
+	m := NewFull(g)
+	ops := newFakeOps(1, 1<<20) // capacity 1MB
+	m.Attach(ops)
+	ops.onDisk[near.Block(0)] = true
+	near.PartSize = 2 << 20 // bigger than the whole store
+	defer func() { near.PartSize = 1 << 20 }()
+	m.OnStageStart(2, 2)
+	if len(ops.prefetched) != 0 {
+		t.Errorf("oversized block prefetched: %v", ops.prefetched)
+	}
+}
+
+func TestEvictionOnlyDisablesPrefetch(t *testing.T) {
+	g, near, _, _ := testGraph(t)
+	m := NewManager(g, NewRecurringProfiler(refdist.FromGraph(g)), Options{DisablePrefetch: true})
+	ops := newFakeOps(1, 1<<30)
+	m.Attach(ops)
+	ops.onDisk[near.Block(0)] = true
+	m.OnStageStart(2, 2)
+	if len(ops.prefetched) != 0 {
+		t.Errorf("eviction-only variant prefetched: %v", ops.prefetched)
+	}
+}
+
+func TestManagerNames(t *testing.T) {
+	g, _, _, _ := testGraph(t)
+	for _, tt := range []struct {
+		opts Options
+		want string
+	}{
+		{Options{}, "MRD"},
+		{Options{DisablePrefetch: true}, "MRD(eviction-only)"},
+		{Options{DisableEviction: true}, "MRD(prefetch-only)"},
+		{Options{DisableEviction: true, DisablePrefetch: true}, "MRD(disabled)"},
+	} {
+		m := NewManager(g, NewAppProfiler(), tt.opts)
+		if got := m.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPurgeWithJobDistanceMetric(t *testing.T) {
+	g, near, _, dead := testGraph(t)
+	m := NewManager(g, NewRecurringProfiler(refdist.FromGraph(g)), Options{Metric: JobDistance})
+	ops := newFakeOps(2, 64<<20)
+	m.Attach(ops)
+	ops.resident[dead.Block(0)] = true
+	ops.resident[near.Block(0)] = true
+	ops.free[0], ops.free[1] = 0, 0
+	m.OnStageStart(1, 1)
+	// Only dead (no references in any job) is purged; near has a read
+	// in the current job and a later one.
+	if len(ops.evicted) != 1 || ops.evicted[0] != dead.Block(0) {
+		t.Errorf("purged %v, want only dead's block", ops.evicted)
+	}
+}
+
+func TestPrefetchOnlyStillArbitratesArrivals(t *testing.T) {
+	// In prefetch-only mode the monitor evicts LRU, but a prefetch
+	// arrival must still refuse to displace nearer blocks.
+	g, near, far, _ := testGraph(t)
+	m := NewManager(g, NewRecurringProfiler(refdist.FromGraph(g)), Options{DisableEviction: true})
+	mon := m.NewNodePolicy(0).(*CacheMonitor)
+	m.OnStageStart(2, 2) // near d=1, far d=3
+	if mon.AllowPrefetchEviction(far.BlockInfo(0), near.Block(0)) {
+		t.Error("prefetch-only monitor allowed evicting a nearer block")
+	}
+	if !mon.AllowPrefetchEviction(near.BlockInfo(0), far.Block(0)) {
+		t.Error("prefetch-only monitor refused a strictly-better trade")
+	}
+}
+
+func TestManagerStringAndStats(t *testing.T) {
+	g, _, _, _ := testGraph(t)
+	m := NewFull(g)
+	if s := m.String(); s == "" {
+		t.Error("empty manager description")
+	}
+	m.OnStageStart(1, 1)
+	if m.Stats().TableUpdates != 1 {
+		t.Errorf("table updates = %d", m.Stats().TableUpdates)
+	}
+	if m.Stats().MaxTableEntries == 0 {
+		t.Error("table high-water mark not tracked")
+	}
+	if m.Profiler() == nil {
+		t.Error("profiler accessor nil")
+	}
+}

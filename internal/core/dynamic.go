@@ -1,0 +1,98 @@
+package core
+
+// The paper's conclusion names "modifying the prefetching memory
+// threshold to be dynamic and automated" as future work (§6). This
+// file implements that extension: an AIMD-style controller that tunes
+// the forced-prefetch threshold from the prefetch-outcome feedback the
+// CacheMonitors report (Table 2's reportCacheStatus).
+//
+// Control law, evaluated once per stage:
+//
+//   waste share > wasteHigh  -> threshold *= backoff   (less aggressive)
+//   waste share < wasteLow,
+//   and prefetches are used  -> threshold -= step      (more aggressive)
+//
+// The threshold is clamped to [minThreshold, maxThreshold]. A high
+// threshold demands more free memory before a forced prefetch, i.e.
+// throttles aggression; a low one forces earlier.
+
+const (
+	dynWasteHigh    = 0.30
+	dynWasteLow     = 0.10
+	dynBackoff      = 1.5
+	dynStep         = 0.05
+	dynMinThreshold = 0.05
+	dynMaxThreshold = 0.90
+	// dynMinSample is the minimum number of new outcomes between
+	// adjustments; reacting to one or two arrivals just oscillates.
+	dynMinSample = 8
+)
+
+// Horizon bounds for the adaptive candidate-distance gate: when
+// prefetches go to waste, the controller narrows how far into the
+// future it is willing to prefetch; when they pay off, it widens.
+const (
+	dynMinHorizon     = 1
+	dynMaxHorizon     = 1 << 20
+	dynInitialHorizon = 32
+)
+
+// thresholdController holds the adaptive state: the forced-prefetch
+// memory threshold and the candidate-distance horizon.
+type thresholdController struct {
+	threshold  float64
+	horizon    int
+	lastUsed   int64
+	lastWasted int64
+	// Adjustments counts control changes, for the ablation report.
+	Adjustments int
+}
+
+func newThresholdController(initial float64) *thresholdController {
+	return &thresholdController{threshold: initial, horizon: dynMaxHorizon}
+}
+
+// update consumes the cumulative prefetch outcomes and adapts the
+// controls when enough new evidence has accumulated.
+func (c *thresholdController) update(used, wasted int64) {
+	if c.horizon == dynMaxHorizon {
+		// First update under dynamic control: start from a moderate
+		// horizon so there is room to adapt in both directions.
+		c.horizon = dynInitialHorizon
+	}
+	dUsed := used - c.lastUsed
+	dWasted := wasted - c.lastWasted
+	total := dUsed + dWasted
+	if total < dynMinSample {
+		return
+	}
+	c.lastUsed, c.lastWasted = used, wasted
+	share := float64(dWasted) / float64(total)
+	switch {
+	case share > dynWasteHigh:
+		// Back off: demand more free memory before forcing, and only
+		// prefetch the most imminent blocks.
+		c.threshold *= dynBackoff
+		c.horizon /= 2
+		c.Adjustments++
+	case share < dynWasteLow && dUsed > 0:
+		// Prefetches are paying off: force earlier and look further.
+		c.threshold -= dynStep
+		c.horizon *= 2
+		c.Adjustments++
+	default:
+		return
+	}
+	if c.threshold > dynMaxThreshold {
+		c.threshold = dynMaxThreshold
+	}
+	if c.threshold < dynMinThreshold {
+		c.threshold = dynMinThreshold
+	}
+	if c.horizon < dynMinHorizon {
+		c.horizon = dynMinHorizon
+	}
+	if c.horizon > dynMaxHorizon {
+		c.horizon = dynMaxHorizon
+	}
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/policy"
+	"mrdspark/internal/refdist"
+)
+
+// Options configures an MRD manager. The zero value is the paper's
+// full configuration: stage-distance metric, eviction and prefetching
+// both enabled, 25% prefetch threshold, no pre-check.
+type Options struct {
+	// Metric selects stage or job distance (§5.7).
+	Metric Metric
+	// DisableEviction turns off MRD eviction and purge orders; node
+	// monitors fall back to LRU (the paper's "prefetch-only" bars in
+	// Fig 4).
+	DisableEviction bool
+	// DisablePrefetch turns off prefetch orders (the "eviction-only"
+	// bars in Fig 4).
+	DisablePrefetch bool
+	// PrefetchThreshold is the fraction of cache capacity that must be
+	// free for a forced prefetch (one that may trigger evictions).
+	// Zero means the paper's experimentally chosen 25% (§4.3).
+	PrefetchThreshold float64
+	// PrefetchDistanceCheck enables the future-work refinement of
+	// §4.4: a forced prefetch is only issued when the candidate's
+	// distance is strictly smaller than the largest distance among
+	// the node's resident blocks (otherwise the prefetch would evict
+	// data more urgent than what it loads).
+	PrefetchDistanceCheck bool
+	// DisablePurge keeps the infinite-distance all-out purge from
+	// firing, for the A1 ablation. The purge runs in both the
+	// eviction and prefetch workflows: it is what frees the memory
+	// aggressive prefetching fills (§4.2), so only disabling both
+	// workflows — or this option — turns it off.
+	DisablePurge bool
+	// DynamicThreshold enables the adaptive prefetch threshold the
+	// paper's conclusion names as future work: an AIMD controller
+	// driven by the monitors' prefetch-outcome reports replaces the
+	// fixed 25%.
+	DynamicThreshold bool
+	// TieBreak orders victims with equal reference distance (§3.3
+	// leaves this prioritization as future work). The default is
+	// least-recently-used.
+	TieBreak TieBreak
+}
+
+// TieBreak selects the ordering among equal-distance eviction
+// candidates.
+type TieBreak int
+
+const (
+	// TieLRU evicts the least recently used of the tied blocks (the
+	// implicit behaviour of the paper's implementation).
+	TieLRU TieBreak = iota
+	// TieLargestFirst evicts the largest tied block, freeing the most
+	// memory per eviction.
+	TieLargestFirst
+	// TieSmallestFirst evicts the smallest tied block, minimizing the
+	// bytes that must be restored if the choice was wrong.
+	TieSmallestFirst
+	// TieCheapestRestore evicts the tied block that is cheapest to
+	// bring back: the disk-read bytes for restorable blocks, the
+	// lineage recompute estimate (dag.RestoreCost) for MEMORY_ONLY
+	// blocks.
+	TieCheapestRestore
+)
+
+// String names the tie-break strategy.
+func (t TieBreak) String() string {
+	switch t {
+	case TieLargestFirst:
+		return "largest-first"
+	case TieSmallestFirst:
+		return "smallest-first"
+	case TieCheapestRestore:
+		return "cheapest-restore"
+	default:
+		return "lru"
+	}
+}
+
+func (o Options) initialThreshold() float64 {
+	if o.PrefetchThreshold <= 0 {
+		return 0.25
+	}
+	return o.PrefetchThreshold
+}
+
+// Stats counts the manager's cluster-wide actions for the overhead
+// accounting of §4.4.
+type Stats struct {
+	TableUpdates    int // newReferenceDistance invocations (per stage)
+	PurgeOrders     int // all-out purge orders issued
+	PurgedBlocks    int // blocks evicted by purge orders
+	PrefetchOrders  int // prefetch orders sent to nodes
+	ForcedPrefetch  int // prefetch orders that may evict on arrival
+	TableReissues   int // MRD_Table re-sends after node failures
+	MaxTableEntries int // high-water mark of MRD_Table size
+}
+
+// Manager is the centralized MRDmanager of §4.2: it owns the
+// MRD_Table, tracks execution progress, decrements distances as stages
+// start, issues all-out purge orders when an RDD's distance reaches
+// infinity, and selects prefetch targets per node (Algorithm 1).
+type Manager struct {
+	profiler *AppProfiler
+	graph    *dag.Graph
+	opts     Options
+
+	// table is the MRD_Table: current reference distance per cached
+	// RDD. Distances are recomputed from the profile as the stage
+	// pointer advances — the functional equivalent of the paper's
+	// per-stage decrement "unless some stages are skipped, regardless
+	// the appropriate value is calculated based on the StageID".
+	table    map[int]int
+	curStage int
+	curJob   int
+
+	ops       policy.ClusterOps
+	monitors  map[int]*CacheMonitor
+	stats     Stats
+	threshold *thresholdController
+}
+
+// NewManager builds an MRD manager for the application. The graph
+// supplies immutable RDD metadata (partition counts and sizes); how
+// much of the reference schedule is visible is governed entirely by
+// the profiler's mode.
+func NewManager(g *dag.Graph, profiler *AppProfiler, opts Options) *Manager {
+	return &Manager{
+		profiler:  profiler,
+		graph:     g,
+		opts:      opts,
+		table:     map[int]int{},
+		monitors:  map[int]*CacheMonitor{},
+		threshold: newThresholdController(opts.initialThreshold()),
+	}
+}
+
+// NewFull returns the paper's full MRD configuration in recurring mode
+// over the complete application DAG.
+func NewFull(g *dag.Graph) *Manager {
+	return NewManager(g, NewRecurringProfiler(refdist.FromGraph(g)), Options{})
+}
+
+// Name implements policy.Factory.
+func (m *Manager) Name() string {
+	switch {
+	case m.opts.DisableEviction && m.opts.DisablePrefetch:
+		return "MRD(disabled)"
+	case m.opts.DisableEviction:
+		return "MRD(prefetch-only)"
+	case m.opts.DisablePrefetch:
+		return "MRD(eviction-only)"
+	default:
+		return "MRD"
+	}
+}
+
+// Stats returns the manager's action counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Profiler returns the manager's AppProfiler.
+func (m *Manager) Profiler() *AppProfiler { return m.profiler }
+
+// Attach implements policy.ClusterAware.
+func (m *Manager) Attach(ops policy.ClusterOps) { m.ops = ops }
+
+// NewNodePolicy implements policy.Factory: it deploys a CacheMonitor
+// on the worker node. With eviction disabled the monitor degrades to
+// Spark's default LRU victim selection.
+func (m *Manager) NewNodePolicy(nodeID int) policy.Policy {
+	mon := newCacheMonitor(m, nodeID)
+	m.monitors[nodeID] = mon
+	return mon
+}
+
+// OnJobSubmit implements policy.JobObserver: the DAGScheduler hands
+// the job DAG to the AppProfiler, and the manager refreshes the
+// MRD_Table with the resulting profile (Table 2's
+// updateReferenceDistance).
+func (m *Manager) OnJobSubmit(j *dag.Job) {
+	m.curJob = j.ID
+	m.profiler.ParseDAG(j)
+	m.refreshTable()
+}
+
+// OnStageStart implements policy.StageObserver: this is Table 2's
+// newReferenceDistance — advancing the stage pointer recomputes every
+// distance in the table — followed by the purge and prefetch phases of
+// Algorithm 1.
+func (m *Manager) OnStageStart(stageID, jobID int) {
+	m.curStage = stageID
+	m.curJob = jobID
+	m.refreshTable()
+	m.stats.TableUpdates++
+	if !m.opts.DisablePurge && !(m.opts.DisableEviction && m.opts.DisablePrefetch) {
+		m.purgeInfinite()
+	}
+	if !m.opts.DisablePrefetch {
+		if m.opts.DynamicThreshold && m.ops != nil {
+			m.threshold.update(m.ops.PrefetchOutcomes())
+		}
+		m.prefetch()
+	}
+}
+
+// Threshold returns the current forced-prefetch threshold (adaptive
+// under DynamicThreshold, otherwise the configured constant) and how
+// many times the controller has adjusted it.
+func (m *Manager) Threshold() (value float64, adjustments int) {
+	return m.threshold.threshold, m.threshold.Adjustments
+}
+
+// OnNodeFailure implements policy.NodeFailureObserver: the manager
+// re-issues the MRD_Table to the replacement monitor (§4.4). Because
+// monitors read the shared table, the re-issue is a counter plus a
+// monitor reset.
+func (m *Manager) OnNodeFailure(node int) {
+	m.stats.TableReissues++
+	if mon, ok := m.monitors[node]; ok {
+		mon.reset()
+	}
+}
+
+// distance returns the current reference distance for the RDD:
+// refdist.Infinite when it has no remaining references (or is unknown
+// to the profile, which in ad-hoc mode is exactly the paper's
+// "assume infinite until a new job is submitted").
+func (m *Manager) distance(rddID int) int {
+	d, ok := m.table[rddID]
+	if !ok {
+		return refdist.Infinite
+	}
+	return d
+}
+
+// refreshTable recomputes the MRD_Table from the profile at the
+// current execution point.
+func (m *Manager) refreshTable() {
+	p := m.profiler.Profile()
+	for k := range m.table {
+		delete(m.table, k)
+	}
+	for _, id := range p.RDDs() {
+		var d int
+		if m.opts.Metric == JobDistance {
+			d = p.JobDistance(id, m.curJob)
+		} else {
+			d = p.StageDistanceConsumed(id, m.curStage)
+		}
+		m.table[id] = d
+	}
+	if n := len(m.table); n > m.stats.MaxTableEntries {
+		m.stats.MaxTableEntries = n
+	}
+}
+
+// purgeInfinite is the eviction phase's first instance (Algorithm 1,
+// lines 13–17): any block whose distance has gone infinite is evicted
+// from every node in the cluster, freeing space before memory pressure
+// forces it.
+func (m *Manager) purgeInfinite() {
+	if m.ops == nil {
+		return
+	}
+	// A block is dead only when no reference remains at or after the
+	// current stage — the table's consumed distances would wrongly
+	// condemn blocks whose last reference is the stage about to read
+	// them.
+	p := m.profiler.Profile()
+	ordered := make([]int, 0, len(m.table))
+	for id := range m.table {
+		var d int
+		if m.opts.Metric == JobDistance {
+			d = p.JobDistance(id, m.curJob)
+		} else {
+			d = p.StageDistance(id, m.curStage)
+		}
+		if refdist.IsInfinite(d) {
+			ordered = append(ordered, id)
+		}
+	}
+	sort.Ints(ordered)
+	issued := false
+	for _, rddID := range ordered {
+		r := m.graph.RDDs[rddID]
+		for p := 0; p < r.NumPartitions; p++ {
+			id := r.Block(p)
+			node := m.ops.HomeNode(id)
+			if m.ops.Resident(node, id) && m.ops.Evict(node, id) {
+				m.stats.PurgedBlocks++
+				issued = true
+			}
+		}
+	}
+	if issued {
+		m.stats.PurgeOrders++
+	}
+}
+
+// prefetch is the prefetching phase (Algorithm 1, lines 24–29): per
+// node, walk candidate blocks in ascending distance order and issue a
+// prefetch when the block fits in free memory, or force it (allowing
+// evictions on arrival) while free memory exceeds the threshold.
+func (m *Manager) prefetch() {
+	if m.ops == nil {
+		return
+	}
+	type candidate struct {
+		info block.Info
+		dist int
+	}
+	perNode := make([][]candidate, m.ops.NumNodes())
+	ordered := make([]int, 0, len(m.table))
+	for id := range m.table {
+		ordered = append(ordered, id)
+	}
+	sort.Ints(ordered)
+	for _, rddID := range ordered {
+		d := m.table[rddID]
+		// Skip infinite distances (no future use) and distance zero:
+		// the currently executing stage's demand reads are already in
+		// flight, so prefetching them would only duplicate I/O. Under
+		// dynamic control, also skip anything beyond the adaptive
+		// horizon.
+		if refdist.IsInfinite(d) || d < 1 {
+			continue
+		}
+		if m.opts.DynamicThreshold && d > m.threshold.horizon {
+			continue
+		}
+		r := m.graph.RDDs[rddID]
+		for p := 0; p < r.NumPartitions; p++ {
+			id := r.Block(p)
+			node := m.ops.HomeNode(id)
+			if m.ops.Resident(node, id) || !m.ops.OnDisk(node, id) {
+				continue
+			}
+			perNode[node] = append(perNode[node], candidate{info: r.BlockInfo(p), dist: d})
+		}
+	}
+	threshold := m.threshold.threshold
+	for node, cands := range perNode {
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].dist != cands[b].dist {
+				return cands[a].dist < cands[b].dist
+			}
+			return cands[a].info.ID.Less(cands[b].info.ID)
+		})
+		free := m.ops.FreeBytes(node)
+		capacity := m.ops.CapacityBytes(node)
+		limit := int64(threshold * float64(capacity))
+		for _, c := range cands {
+			if c.info.Size > capacity {
+				continue // can never fit; don't waste bandwidth
+			}
+			switch {
+			case c.info.Size <= free:
+				m.ops.Prefetch(node, c.info)
+				m.stats.PrefetchOrders++
+				free -= c.info.Size
+			case free > limit:
+				// Forced prefetch: the store will evict max-distance
+				// blocks on arrival. The optional pre-check skips it
+				// when the eviction would be counter-productive.
+				if m.opts.PrefetchDistanceCheck && !m.worthForcing(node, c.dist) {
+					continue
+				}
+				m.ops.Prefetch(node, c.info)
+				m.stats.PrefetchOrders++
+				m.stats.ForcedPrefetch++
+				free -= c.info.Size
+				if free < 0 {
+					free = 0
+				}
+			}
+		}
+	}
+}
+
+// worthForcing reports whether the node holds at least one resident
+// block with a strictly larger distance than dist, i.e. whether a
+// forced prefetch would evict something less urgent than it loads.
+func (m *Manager) worthForcing(node int, dist int) bool {
+	mon, ok := m.monitors[node]
+	if !ok {
+		return true
+	}
+	for id := range mon.resident {
+		d := m.distance(id.RDD)
+		if refdist.IsInfinite(d) || d > dist {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarizes the manager configuration.
+func (m *Manager) String() string {
+	return fmt.Sprintf("%s[metric=%s,mode=%s]", m.Name(), m.opts.Metric, m.profiler.Mode())
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"container/list"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/refdist"
+)
+
+// CacheMonitor is the distributed component deployed on each worker
+// node (§4.2): it reads the reference distances the manager maintains
+// (getReferenceDistance), and when the node's store needs space it
+// evicts the resident block with the greatest distance (evictBlock),
+// infinite-distance blocks first. With MRD eviction disabled the
+// monitor reproduces Spark's default LRU behaviour, giving the paper's
+// prefetch-only configuration.
+type CacheMonitor struct {
+	mgr      *Manager
+	node     int
+	resident map[block.ID]*list.Element
+	order    *list.List // recency: front = MRU, back = LRU
+	// hits mirrors part of Table 2's reportCacheStatus: the monitor's
+	// own count of read hits, reported back to the manager. Full
+	// hit/miss accounting lives in the store's metrics.
+	hits int64
+}
+
+func newCacheMonitor(m *Manager, node int) *CacheMonitor {
+	return &CacheMonitor{
+		mgr:      m,
+		node:     node,
+		resident: map[block.ID]*list.Element{},
+		order:    list.New(),
+	}
+}
+
+// reset clears local state after a node failure; the manager re-issues
+// the (shared) table.
+func (c *CacheMonitor) reset() {
+	c.resident = map[block.ID]*list.Element{}
+	c.order = list.New()
+}
+
+// OnAdd implements policy.Policy.
+func (c *CacheMonitor) OnAdd(id block.ID) {
+	if e, ok := c.resident[id]; ok {
+		c.order.MoveToFront(e)
+		return
+	}
+	c.resident[id] = c.order.PushFront(id)
+}
+
+// OnAccess implements policy.Policy.
+func (c *CacheMonitor) OnAccess(id block.ID) {
+	c.hits++
+	if e, ok := c.resident[id]; ok {
+		c.order.MoveToFront(e)
+	}
+}
+
+// OnRemove implements policy.Policy.
+func (c *CacheMonitor) OnRemove(id block.ID) {
+	if e, ok := c.resident[id]; ok {
+		c.order.Remove(e)
+		delete(c.resident, id)
+	}
+}
+
+// Victim implements policy.Policy. Under MRD eviction it returns the
+// evictable block with the greatest reference distance — infinite
+// distances are greatest of all — breaking distance ties by least
+// recent use. Under prefetch-only configurations it returns the plain
+// LRU victim.
+func (c *CacheMonitor) Victim(evictable func(id block.ID) bool) (block.ID, bool) {
+	if c.mgr.opts.DisableEviction {
+		for e := c.order.Back(); e != nil; e = e.Prev() {
+			id := e.Value.(block.ID)
+			if evictable(id) {
+				return id, true
+			}
+		}
+		return block.ID{}, false
+	}
+	best, found := block.ID{}, false
+	bestDist := 0
+	bestInf := false
+	// Walk LRU -> MRU so the least recently used block wins among
+	// equal distances under the default tie-break; the optional
+	// size-aware tie-breaks (§3.3's future work) override it.
+	for e := c.order.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(block.ID)
+		if !evictable(id) {
+			continue
+		}
+		d := c.mgr.distance(id.RDD)
+		inf := refdist.IsInfinite(d)
+		switch {
+		case !found:
+			best, bestDist, bestInf, found = id, d, inf, true
+		case inf && !bestInf:
+			best, bestDist, bestInf = id, d, inf
+		case inf == bestInf && !inf && d > bestDist:
+			best, bestDist, bestInf = id, d, inf
+		case inf == bestInf && (inf || d == bestDist) && c.tieBeats(id, best):
+			best, bestDist, bestInf = id, d, inf
+		}
+		if bestInf && c.mgr.opts.TieBreak == TieLRU {
+			// Nothing outranks an infinite-distance block, and the
+			// LRU-first walk already fixed the tiebreak.
+			break
+		}
+	}
+	return best, found
+}
+
+// tieBeats reports whether the candidate should replace the incumbent
+// among equal-distance blocks under the configured tie-break. The LRU
+// default never replaces: the LRU-first walk already found the right
+// block.
+func (c *CacheMonitor) tieBeats(id, best block.ID) bool {
+	switch c.mgr.opts.TieBreak {
+	case TieLargestFirst:
+		return c.blockSize(id) > c.blockSize(best)
+	case TieSmallestFirst:
+		return c.blockSize(id) < c.blockSize(best)
+	case TieCheapestRestore:
+		return c.restoreCost(id) < c.restoreCost(best)
+	default:
+		return false
+	}
+}
+
+// restoreCost estimates the price of getting the block back: a disk
+// read (microseconds at a nominal 40 MB/s) for restorable levels, the
+// lineage recompute estimate for MEMORY_ONLY.
+func (c *CacheMonitor) restoreCost(id block.ID) int64 {
+	if id.RDD < 0 || id.RDD >= len(c.mgr.graph.RDDs) {
+		return 0
+	}
+	r := c.mgr.graph.RDDs[id.RDD]
+	if r.Level == block.MemoryAndDisk {
+		return r.PartSize * 1_000_000 / (40 << 20)
+	}
+	return c.mgr.graph.RestoreCost(r)
+}
+
+func (c *CacheMonitor) blockSize(id block.ID) int64 {
+	if id.RDD < 0 || id.RDD >= len(c.mgr.graph.RDDs) {
+		return 0
+	}
+	return c.mgr.graph.RDDs[id.RDD].PartSize
+}
+
+// Distance exposes the monitor's view of a block's current reference
+// distance (Table 2's getReferenceDistance).
+func (c *CacheMonitor) Distance(id block.ID) int { return c.mgr.distance(id.RDD) }
+
+// AllowPrefetchEviction implements policy.PrefetchArbiter: a prefetch
+// arrival may evict a resident block only when that block's reference
+// distance is strictly larger (infinite counting as largest). Without
+// the check, equal-distance blocks displace each other in an endless
+// churn — the counter-productive case §4.4 describes.
+func (c *CacheMonitor) AllowPrefetchEviction(incoming block.Info, victim block.ID) bool {
+	vd := c.mgr.distance(victim.RDD)
+	if refdist.IsInfinite(vd) {
+		return true
+	}
+	id := c.mgr.distance(incoming.ID.RDD)
+	if refdist.IsInfinite(id) {
+		return false
+	}
+	return vd > id
+}

@@ -1,0 +1,157 @@
+// Package core implements the paper's contribution: the Most Reference
+// Distance (MRD) cache management policy (§4). It mirrors the paper's
+// architecture: a centralized AppProfiler parses job DAGs into
+// reference-distance profiles, a centralized MRDManager maintains the
+// MRD_Table and issues purge and prefetch orders, and one CacheMonitor
+// per worker node makes local eviction decisions from the table.
+package core
+
+import (
+	"mrdspark/internal/dag"
+	"mrdspark/internal/refdist"
+)
+
+// Mode selects how much of the application DAG is visible up front
+// (paper §4.1's two modus operandi).
+type Mode int
+
+const (
+	// AdHoc mode builds the reference-distance profile one job at a
+	// time as jobs are submitted; references beyond the known jobs
+	// are treated as infinite.
+	AdHoc Mode = iota
+	// Recurring mode loads the whole-application profile saved from a
+	// previous run before execution begins.
+	Recurring
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == AdHoc {
+		return "ad-hoc"
+	}
+	return "recurring"
+}
+
+// Metric selects the workflow subdivision distances are measured in
+// (paper §3.2 / §5.7).
+type Metric int
+
+const (
+	// StageDistance is the fine-grained default metric.
+	StageDistance Metric = iota
+	// JobDistance is the coarse alternative; within one job every
+	// reference looks equidistant, which §5.7 shows degrades MRD.
+	JobDistance
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	if m == StageDistance {
+		return "stage"
+	}
+	return "job"
+}
+
+// AppProfiler receives job DAGs from the scheduler, parses them into a
+// reference-distance profile (the parseDAG API of Table 2), and hands
+// the profile to the MRDManager. For recurring applications it starts
+// from a stored whole-application profile and checks each submitted
+// job against it, counting discrepancies; for ad-hoc applications the
+// profile grows job by job.
+type AppProfiler struct {
+	mode    Mode
+	profile *refdist.Profile
+	// observed accumulates what the running application actually
+	// submits, so a recurring profile can be verified and a partial
+	// first run resumed (paper §4.4 fault tolerance).
+	observed      *refdist.Profile
+	discrepancies int
+}
+
+// NewAppProfiler creates an ad-hoc profiler with no prior knowledge.
+func NewAppProfiler() *AppProfiler {
+	return &AppProfiler{
+		mode:     AdHoc,
+		profile:  refdist.NewProfile(),
+		observed: refdist.NewProfile(),
+	}
+}
+
+// NewRecurringProfiler creates a profiler preloaded with the stored
+// whole-application profile from a previous run.
+func NewRecurringProfiler(stored *refdist.Profile) *AppProfiler {
+	return &AppProfiler{
+		mode:     Recurring,
+		profile:  stored,
+		observed: refdist.NewProfile(),
+	}
+}
+
+// Mode returns the profiler's operating mode.
+func (a *AppProfiler) Mode() Mode { return a.mode }
+
+// Profile returns the profile the MRDManager should consult.
+func (a *AppProfiler) Profile() *refdist.Profile { return a.profile }
+
+// Observed returns the profile of references actually submitted so
+// far; storing it after the run is how recurring profiles are created
+// and how interrupted first runs resume.
+func (a *AppProfiler) Observed() *refdist.Profile { return a.observed }
+
+// Discrepancies returns how many submitted jobs disagreed with the
+// stored recurring profile.
+func (a *AppProfiler) Discrepancies() int { return a.discrepancies }
+
+// ParseDAG ingests one submitted job (Table 2's parseDAG). In ad-hoc
+// mode the working profile grows; in recurring mode the stored profile
+// already covers the job, so the submission is only verified against
+// it, updating the profile if a discrepancy is found.
+func (a *AppProfiler) ParseDAG(j *dag.Job) {
+	a.observed.AddJob(j)
+	if a.mode == AdHoc {
+		a.profile.AddJob(j)
+		return
+	}
+	// Recurring: verify the stored profile agrees with reality for
+	// everything observed so far. A prefix mismatch means the stored
+	// profile is stale; fall back to the observed references so the
+	// manager never acts on wrong data, and count the discrepancy.
+	for _, id := range a.observed.RDDs() {
+		obs := a.observed.Reads(id)
+		stored := a.profile.Reads(id)
+		if len(stored) < len(obs) {
+			a.discrepancies++
+			a.profile = mergeProfiles(a.profile, a.observed)
+			return
+		}
+		for i := range obs {
+			if stored[i] != obs[i] {
+				a.discrepancies++
+				a.profile = mergeProfiles(a.profile, a.observed)
+				return
+			}
+		}
+	}
+}
+
+// mergeProfiles overlays observed references onto a stored profile:
+// observed data wins for any RDD it covers, stored data fills in the
+// future the observation has not reached yet.
+func mergeProfiles(stored, observed *refdist.Profile) *refdist.Profile {
+	sd := stored.Data()
+	od := observed.Data()
+	for id, reads := range od.Reads {
+		if len(reads) > len(sd.Reads[id]) {
+			sd.Reads[id] = reads
+		} else {
+			merged := make([]refdist.Ref, len(reads))
+			copy(merged, reads)
+			sd.Reads[id] = append(merged, sd.Reads[id][len(reads):]...)
+		}
+	}
+	for id, c := range od.Creation {
+		sd.Creation[id] = c
+	}
+	return refdist.FromData(sd)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/refdist"
+)
+
+// randomProfileGraph builds a random application whose cached RDDs
+// have varied reference schedules, for property-testing the monitor.
+func randomProfileGraph(rng *rand.Rand) *dag.Graph {
+	g := dag.New()
+	src := g.Source("in", 2, 1<<10)
+	var cached []*dag.RDD
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		cached = append(cached, src.Map("c", dag.WithCost(10)).Persist(block.MemoryAndDisk))
+	}
+	// Creation job touches everything.
+	all := cached[0]
+	for _, r := range cached[1:] {
+		all = all.ZipPartitions("z", r)
+	}
+	g.Count(all)
+	// Random read jobs.
+	jobs := 3 + rng.Intn(10)
+	for j := 0; j < jobs; j++ {
+		r := cached[rng.Intn(len(cached))]
+		g.Count(r.Map("use", dag.WithCost(10)))
+	}
+	return g
+}
+
+// TestQuickVictimHasMaximalDistance is the paper's core invariant
+// (Definition 1 + §4.1): the CacheMonitor's victim always carries the
+// greatest reference distance among evictable resident blocks,
+// infinite counting as greatest. Verified against brute force over
+// random applications, stages and resident sets.
+func TestQuickVictimHasMaximalDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomProfileGraph(rng)
+		m := NewFull(g)
+		mon := m.NewNodePolicy(0).(*CacheMonitor)
+
+		var resident []block.ID
+		for _, r := range g.CachedRDDs() {
+			if rng.Intn(2) == 0 {
+				id := r.Block(rng.Intn(r.NumPartitions))
+				mon.OnAdd(id)
+				resident = append(resident, id)
+			}
+		}
+		if len(resident) == 0 {
+			return true
+		}
+		stages := g.ExecutedStages()
+		st := stages[rng.Intn(len(stages))]
+		m.OnStageStart(st.ID, st.FirstJob.ID)
+
+		victim, ok := mon.Victim(func(block.ID) bool { return true })
+		if !ok {
+			return false
+		}
+		vd := m.distance(victim.RDD)
+		for _, id := range resident {
+			d := m.distance(id.RDD)
+			// Any resident block strictly "greater" than the victim
+			// (infinite beats finite; larger finite beats smaller)
+			// disproves maximality.
+			if refdist.IsInfinite(d) && !refdist.IsInfinite(vd) {
+				return false
+			}
+			if !refdist.IsInfinite(d) && !refdist.IsInfinite(vd) && d > vd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTableMatchesProfile: the MRD_Table always equals the
+// profile's consumed distances at the current stage.
+func TestQuickTableMatchesProfile(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomProfileGraph(rng)
+		m := NewFull(g)
+		p := refdist.FromGraph(g)
+		for _, st := range g.ExecutedStages() {
+			m.OnStageStart(st.ID, st.FirstJob.ID)
+			for _, id := range p.RDDs() {
+				want := p.StageDistanceConsumed(id, st.ID)
+				got := m.distance(id)
+				if refdist.IsInfinite(want) != refdist.IsInfinite(got) {
+					return false
+				}
+				if !refdist.IsInfinite(want) && got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

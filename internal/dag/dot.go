@@ -1,0 +1,94 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the application DAG in Graphviz DOT format: RDDs as
+// nodes (cached ones shaded), dependencies as edges (shuffles bold),
+// and executed stages as clusters. It is used by cmd/dagviz and is
+// handy when debugging workload generators.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph app {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n")
+	stageOf := map[int]int{} // RDD ID -> stage ID that computes it
+	for _, s := range g.ExecutedStages() {
+		for _, r := range s.Chain {
+			if _, ok := stageOf[r.ID]; !ok {
+				stageOf[r.ID] = s.ID
+			}
+		}
+	}
+	byStage := map[int][]*RDD{}
+	for _, r := range g.RDDs {
+		byStage[stageOf[r.ID]] = append(byStage[stageOf[r.ID]], r)
+	}
+	for _, s := range g.ExecutedStages() {
+		fmt.Fprintf(&b, "  subgraph cluster_stage%d {\n    label=\"stage %d (%s)\";\n    style=dotted;\n", s.ID, s.ID, s.Kind)
+		for _, r := range byStage[s.ID] {
+			style := ""
+			if r.Cached {
+				style = ", style=filled, fillcolor=lightblue"
+			}
+			fmt.Fprintf(&b, "    r%d [label=\"RDD%d %s\\n%s, %d parts\"%s];\n",
+				r.ID, r.ID, r.Name, r.Op, r.NumPartitions, style)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, r := range g.RDDs {
+		for _, d := range r.Deps {
+			attr := ""
+			if d.Type == Shuffle {
+				attr = " [style=bold, color=red]"
+			}
+			fmt.Fprintf(&b, "  r%d -> r%d%s;\n", d.Parent.ID, r.ID, attr)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Characteristics summarizes an application DAG in the shape of the
+// paper's Table 3 "Characteristics" column.
+type Characteristics struct {
+	Jobs         int
+	Stages       int // total including skipped (Spark UI semantics)
+	ActiveStages int // stages that actually execute
+	RDDs         int
+	CachedRDDs   int
+	// RefsPerRDD is the average number of read references per cached
+	// RDD over the whole workflow.
+	RefsPerRDD float64
+	// RefsPerStage is the average number of cached-RDD read
+	// references per active stage.
+	RefsPerStage float64
+}
+
+// Characterize computes the Table 3 characteristics of the DAG.
+func (g *Graph) Characterize() Characteristics {
+	c := Characteristics{
+		Jobs:         len(g.Jobs),
+		Stages:       g.TotalStages(),
+		ActiveStages: g.ActiveStages(),
+		RDDs:         len(g.RDDs),
+	}
+	refs := 0
+	for _, reads := range g.StageReads() {
+		refs += len(reads)
+	}
+	for _, r := range g.RDDs {
+		if r.Cached {
+			c.CachedRDDs++
+		}
+	}
+	if c.CachedRDDs > 0 {
+		c.RefsPerRDD = float64(refs) / float64(c.CachedRDDs)
+	}
+	if c.ActiveStages > 0 {
+		c.RefsPerStage = float64(refs) / float64(c.ActiveStages)
+	}
+	return c
+}

@@ -1,0 +1,85 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	data := g.Source("in", 2, 1<<20).Map("parse").Cache()
+	agg := data.ReduceByKey("agg")
+	g.Count(agg)
+
+	var b strings.Builder
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	for _, want := range []string{
+		"digraph app",
+		"subgraph cluster_stage0",
+		"subgraph cluster_stage1",
+		"fillcolor=lightblue",   // cached RDD shading
+		"style=bold, color=red", // shuffle edge
+		"r0 -> r1",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	g := New()
+	data := g.Source("in", 2, 1<<20).Map("parse").Cache()
+	g.Count(data)           // creates data
+	g.Count(data.Map("u1")) // reads data
+	g.Count(data.Map("u2")) // reads data
+	c := g.Characterize()
+	if c.Jobs != 3 {
+		t.Errorf("Jobs = %d", c.Jobs)
+	}
+	if c.Stages != 3 || c.ActiveStages != 3 {
+		t.Errorf("Stages = %d/%d", c.Stages, c.ActiveStages)
+	}
+	if c.RDDs != 4 {
+		t.Errorf("RDDs = %d", c.RDDs)
+	}
+	if c.CachedRDDs != 1 {
+		t.Errorf("CachedRDDs = %d", c.CachedRDDs)
+	}
+	if c.RefsPerRDD != 2 {
+		t.Errorf("RefsPerRDD = %v, want 2 (two reads, creation excluded)", c.RefsPerRDD)
+	}
+	if want := 2.0 / 3.0; c.RefsPerStage < want-1e-9 || c.RefsPerStage > want+1e-9 {
+		t.Errorf("RefsPerStage = %v, want %v", c.RefsPerStage, want)
+	}
+}
+
+func TestWriteDOTMultiJob(t *testing.T) {
+	g := New()
+	data := g.Source("in", 2, 1<<20).Map("parse").Cache()
+	g.Count(data)
+	agg := data.ReduceByKey("agg")
+	g.Count(agg)
+	g.Count(agg.Map("post")) // reuses the shuffle
+
+	var b strings.Builder
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	// Every executed stage gets a cluster; the reused stage appears
+	// only once.
+	if got := strings.Count(dot, "subgraph cluster_stage"); got != g.ActiveStages() {
+		t.Errorf("stage clusters = %d, want %d", got, g.ActiveStages())
+	}
+	// Every RDD appears as a node.
+	for _, r := range g.RDDs {
+		if !strings.Contains(dot, fmt.Sprintf("r%d [", r.ID)) {
+			t.Errorf("RDD %d missing from DOT", r.ID)
+		}
+	}
+}

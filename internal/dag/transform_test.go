@@ -1,0 +1,133 @@
+package dag
+
+import "testing"
+
+func TestEveryNarrowTransform(t *testing.T) {
+	g := New()
+	src := g.Source("in", 4, 1<<20)
+	for name, r := range map[string]*RDD{
+		"Map":           src.Map("x"),
+		"Filter":        src.Filter("x"),
+		"FlatMap":       src.FlatMap("x"),
+		"MapPartitions": src.MapPartitions("x"),
+		"MapValues":     src.MapValues("x"),
+		"Sample":        src.Sample("x"),
+	} {
+		if len(r.Deps) != 1 || r.Deps[0].Type != Narrow || r.Deps[0].Parent != src {
+			t.Errorf("%s: deps = %+v", name, r.Deps)
+		}
+		if r.Deps[0].ShuffleID != 0 {
+			t.Errorf("%s: narrow dep carries shuffle ID %d", name, r.Deps[0].ShuffleID)
+		}
+	}
+}
+
+func TestEveryWideTransform(t *testing.T) {
+	g := New()
+	src := g.Source("in", 4, 1<<20)
+	for name, r := range map[string]*RDD{
+		"ReduceByKey":    src.ReduceByKey("x"),
+		"GroupByKey":     src.GroupByKey("x"),
+		"SortByKey":      src.SortByKey("x"),
+		"Distinct":       src.Distinct("x"),
+		"PartitionBy":    src.PartitionBy("x"),
+		"AggregateByKey": src.AggregateByKey("x"),
+	} {
+		if len(r.Deps) != 1 || r.Deps[0].Type != Shuffle {
+			t.Errorf("%s: deps = %+v", name, r.Deps)
+		}
+		if r.Deps[0].ShuffleID == 0 {
+			t.Errorf("%s: shuffle dep without shuffle ID", name)
+		}
+	}
+}
+
+func TestWithPartitionsOnNarrow(t *testing.T) {
+	g := New()
+	src := g.Source("in", 8, 1<<20)
+	r := src.Map("m", WithPartitions(3))
+	if r.NumPartitions != 3 {
+		t.Errorf("partitions = %d", r.NumPartitions)
+	}
+}
+
+func TestActionsCreateDistinctJobs(t *testing.T) {
+	g := New()
+	r := g.Source("in", 2, 1<<10).Map("m")
+	jobs := []*Job{
+		g.Count(r), g.Collect(r), g.Reduce(r), g.SaveAsFile(r), g.Action(r, "custom"),
+	}
+	names := []string{"count", "collect", "reduce", "saveAsFile", "custom"}
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+		if j.Name != names[i] {
+			t.Errorf("job %d name = %q, want %q", i, j.Name, names[i])
+		}
+		if j.Target != r {
+			t.Errorf("job %d target wrong", i)
+		}
+	}
+	if len(g.Jobs) != 5 {
+		t.Errorf("graph jobs = %d", len(g.Jobs))
+	}
+}
+
+func TestNumStagesTracksCreation(t *testing.T) {
+	g := New()
+	r := g.Source("in", 2, 1<<10).ReduceByKey("r")
+	if g.NumStages() != 0 {
+		t.Errorf("stages before any action = %d", g.NumStages())
+	}
+	g.Count(r)
+	if g.NumStages() != 2 {
+		t.Errorf("stages after one action = %d", g.NumStages())
+	}
+	g.Count(r.Map("m")) // reuses the shuffle stage, adds one result stage
+	if g.NumStages() != 3 {
+		t.Errorf("stages after reuse = %d", g.NumStages())
+	}
+}
+
+func TestCoGroupAndJoinIndependentShuffles(t *testing.T) {
+	g := New()
+	a := g.Source("a", 2, 1<<10)
+	b := g.Source("b", 2, 1<<10)
+	j := a.Join("j", b)
+	cg := a.CoGroup("cg", b)
+	ids := map[int]bool{}
+	for _, r := range []*RDD{j, cg} {
+		for _, d := range r.Deps {
+			if ids[d.ShuffleID] {
+				t.Errorf("shuffle ID %d reused across join/cogroup", d.ShuffleID)
+			}
+			ids[d.ShuffleID] = true
+		}
+	}
+	// Join and cogroup of the same parents still create separate map
+	// stages: shuffle dependencies are per-operation, as in Spark.
+	g.Count(j)
+	g.Count(cg)
+	if g.ActiveStages() != 6 {
+		t.Errorf("active stages = %d, want 6 (2 map + result, twice)", g.ActiveStages())
+	}
+}
+
+func TestRDDStringAndDepString(t *testing.T) {
+	g := New()
+	r := g.Source("input", 2, 1<<10)
+	if r.String() != "RDD0(input)" {
+		t.Errorf("String() = %q", r.String())
+	}
+	if Narrow.String() != "narrow" || Shuffle.String() != "shuffle" {
+		t.Error("DepType strings wrong")
+	}
+	if ShuffleMap.String() != "shuffleMap" || Result.String() != "result" {
+		t.Error("StageKind strings wrong")
+	}
+	st := g.Count(r).ResultStage
+	if st.String() == "" {
+		t.Error("stage String empty")
+	}
+}

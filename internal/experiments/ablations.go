@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/core"
+	"mrdspark/internal/metrics"
+	"mrdspark/internal/workload"
+)
+
+// The ablations are reproductions of design choices the paper asserts
+// but does not isolate (DESIGN.md A1–A3): the all-out purge, the
+// prefetch threshold and distance pre-check, and the gap to Belady's
+// MIN oracle.
+
+// AblationRow is one (workload, variant) measurement.
+type AblationRow struct {
+	Workload string
+	Variant  string
+	Run      metrics.Run
+	NormJCT  float64 // vs LRU at the same cache size
+}
+
+// ablate runs the variants at the cache size where full MRD gains most.
+func ablate(names []string, cfg cluster.Config, variants []PolicySpec) []AblationRow {
+	rows := make([]AblationRow, len(names)*len(variants))
+	forEach(len(names), func(ni int) {
+		name := names[ni]
+		spec, err := workload.Build(name, workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		ws := workingSet(spec, cfg)
+		bestJCT := 1e18
+		var bestCache int64
+		var bestLRU metrics.Run
+		for _, frac := range defaultFractions {
+			c := cfg.WithCache(cacheForFraction(spec, ws, frac, cfg))
+			lru := runOne(spec, c, SpecLRU)
+			mrd := runOne(spec, c, SpecMRD)
+			if r := norm(mrd, lru); r < bestJCT {
+				bestJCT, bestCache, bestLRU = r, c.CacheBytes, lru
+			}
+		}
+		c := cfg.WithCache(bestCache)
+		for vi, v := range variants {
+			run := runOne(spec, c, v)
+			rows[ni*len(variants)+vi] = AblationRow{
+				Workload: name, Variant: v.Name(), Run: run, NormJCT: norm(run, bestLRU),
+			}
+		}
+	})
+	return rows
+}
+
+// AblationPurge isolates the all-out purge order (A1): full MRD vs MRD
+// with the purge disabled, on the workloads with the most dead
+// generations.
+func AblationPurge(cfg cluster.Config) []AblationRow {
+	return ablate([]string{"SCC", "LP", "PO"}, cfg, []PolicySpec{
+		SpecMRD,
+		{Kind: "MRD", MRD: core.Options{DisablePurge: true}, Label: "MRD-nopurge"},
+	})
+}
+
+// AblationThreshold sweeps the prefetch memory threshold the paper
+// fixes at 25% (§4.3, and its future-work note about making it
+// dynamic), plus the issue-time distance pre-check of §4.4 (A2).
+func AblationThreshold(cfg cluster.Config) []AblationRow {
+	return ablate([]string{"SVD", "PR", "KM"}, cfg, []PolicySpec{
+		{Kind: "MRD", MRD: core.Options{PrefetchThreshold: 0.10}, Label: "MRD-t10"},
+		SpecMRD, // 25%
+		{Kind: "MRD", MRD: core.Options{PrefetchThreshold: 0.50}, Label: "MRD-t50"},
+		{Kind: "MRD", MRD: core.Options{PrefetchDistanceCheck: true}, Label: "MRD-precheck"},
+	})
+}
+
+// AblationDynamicThreshold compares the fixed 25% threshold against
+// the adaptive controller the paper's conclusion names as future work
+// (A4), including a deliberately bad fixed setting as the case the
+// controller should escape.
+func AblationDynamicThreshold(cfg cluster.Config) []AblationRow {
+	return ablate([]string{"SVD", "CC", "KM"}, cfg, []PolicySpec{
+		SpecMRD,
+		{Kind: "MRD", MRD: core.Options{PrefetchThreshold: 0.85}, Label: "MRD-t85"},
+		{Kind: "MRD", MRD: core.Options{DynamicThreshold: true}, Label: "MRD-dynamic"},
+		{Kind: "MRD", MRD: core.Options{DynamicThreshold: true, PrefetchThreshold: 0.85}, Label: "MRD-dyn-from85"},
+	})
+}
+
+// AblationTieBreak compares the equal-distance tie-breaking strategies
+// (§3.3 leaves the prioritization as future work) on workloads whose
+// cached RDDs differ most in block size (A5).
+func AblationTieBreak(cfg cluster.Config) []AblationRow {
+	return ablate([]string{"KM", "TC", "SVD"}, cfg, []PolicySpec{
+		SpecMRD, // LRU tie-break
+		{Kind: "MRD", MRD: core.Options{TieBreak: core.TieLargestFirst}, Label: "MRD-tie-largest"},
+		{Kind: "MRD", MRD: core.Options{TieBreak: core.TieSmallestFirst}, Label: "MRD-tie-smallest"},
+		{Kind: "MRD", MRD: core.Options{TieBreak: core.TieCheapestRestore}, Label: "MRD-tie-cheapest"},
+	})
+}
+
+// BaselineOblivious races MRD against the DAG-oblivious policies the
+// paper's §2 cites as orthogonal (Hyperbolic caching) plus classic
+// references (GreedyDual-Size, LFU), on the I/O-intensive workloads.
+func BaselineOblivious(cfg cluster.Config) []AblationRow {
+	return ablate([]string{"PR", "CC", "SVD", "LP"}, cfg, []PolicySpec{
+		SpecLRU,
+		{Kind: "LFU"},
+		{Kind: "Hyperbolic"},
+		{Kind: "GDS"},
+		SpecMRD,
+	})
+}
+
+// AblationMIN compares every policy against the Belady MIN oracle
+// (A3): how much of the clairvoyant headroom MRD's stage-granular
+// approximation captures.
+func AblationMIN(cfg cluster.Config) []AblationRow {
+	return ablate(workload.SparkBenchNames(), cfg, []PolicySpec{
+		SpecLRU, SpecLRC, SpecMRDEvictOnly, SpecMIN,
+	})
+}
+
+// RenderAblation formats ablation rows grouped by workload.
+func RenderAblation(title string, rows []AblationRow, note string) string {
+	t := Table{
+		Title:  title,
+		Header: []string{"Workload", "Variant", "NormJCT", "Hit", "Evictions", "Purged", "Prefetch used/issued"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload, r.Variant, pct(r.NormJCT), pct1(r.Run.HitRatio()),
+			itoa(int(r.Run.Evictions)), itoa(int(r.Run.PurgedBlocks)),
+			itoa(int(r.Run.PrefetchUsed)) + "/" + itoa(int(r.Run.PrefetchIssued)),
+		})
+	}
+	t.Note = note
+	return t.Render()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// barChart renders a horizontal ASCII bar chart: one row per label,
+// bars scaled to scaleMax (0 = max value). It is how cmd/experiments
+// approximates the paper's figures in a terminal.
+func barChart(title string, labels []string, values []float64, render func(float64) string, scaleMax float64) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if scaleMax <= 0 {
+		for _, v := range values {
+			if v > scaleMax {
+				scaleMax = v
+			}
+		}
+	}
+	if scaleMax <= 0 {
+		scaleMax = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	const width = 44
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	for i, l := range labels {
+		v := values[i]
+		n := int(v / scaleMax * width)
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&b, "  %-*s %s%s %s\n", labelW, l,
+			strings.Repeat("#", n), strings.Repeat(".", width-n), render(v))
+	}
+	return b.String()
+}
+
+// seriesChart renders several aligned series as grouped bars — one
+// block per label with one bar per series.
+func seriesChart(title string, labels []string, series map[string][]float64, order []string, render func(float64) string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	scaleMax := 0.0
+	for _, vs := range series {
+		for _, v := range vs {
+			if v > scaleMax {
+				scaleMax = v
+			}
+		}
+	}
+	if scaleMax <= 0 {
+		scaleMax = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	nameW := 0
+	for _, n := range order {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	const width = 36
+	for i, l := range labels {
+		for j, name := range order {
+			vs := series[name]
+			if i >= len(vs) {
+				continue
+			}
+			v := vs[i]
+			n := int(v / scaleMax * width)
+			if n > width {
+				n = width
+			}
+			if n < 0 {
+				n = 0
+			}
+			lbl := ""
+			if j == 0 {
+				lbl = l
+			}
+			fmt.Fprintf(&b, "  %-*s %-*s %s%s %s\n", labelW, lbl, nameW, name,
+				strings.Repeat("#", n), strings.Repeat(".", width-n), render(v))
+		}
+	}
+	return b.String()
+}

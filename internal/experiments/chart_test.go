@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := barChart("T:", []string{"a", "bb"}, []float64{0.5, 1.0}, pct, 1.0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "T:" {
+		t.Errorf("title = %q", lines[0])
+	}
+	aBars := strings.Count(lines[1], "#")
+	bBars := strings.Count(lines[2], "#")
+	if aBars*2 != bBars {
+		t.Errorf("bar lengths not proportional: %d vs %d", aBars, bBars)
+	}
+	if !strings.Contains(lines[1], "50%") || !strings.Contains(lines[2], "100%") {
+		t.Errorf("values missing:\n%s", out)
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	if out := barChart("T", nil, nil, pct, 0); out != "" {
+		t.Errorf("empty chart rendered %q", out)
+	}
+	if out := barChart("T", []string{"a"}, []float64{1, 2}, pct, 0); out != "" {
+		t.Errorf("mismatched chart rendered %q", out)
+	}
+	// All-zero values must not divide by zero.
+	out := barChart("T", []string{"a"}, []float64{0}, pct, 0)
+	if !strings.Contains(out, "0%") {
+		t.Errorf("zero chart broken: %q", out)
+	}
+}
+
+func TestBarChartClampsOverflow(t *testing.T) {
+	out := barChart("T", []string{"a"}, []float64{5}, pct, 1.0) // 5x the scale
+	if strings.Count(out, "#") != 44 {
+		t.Errorf("overflow bar not clamped: %q", out)
+	}
+}
+
+func TestSeriesChart(t *testing.T) {
+	out := seriesChart("S:", []string{"x", "y"},
+		map[string][]float64{"A": {0.2, 0.4}, "B": {0.4, 0.8}},
+		[]string{"A", "B"}, pct1)
+	for _, want := range []string{"S:", "x", "y", "A", "B", "20.0%", "80.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series chart missing %q:\n%s", want, out)
+		}
+	}
+	// The label prints once per group, on the first series row.
+	if strings.Count(out, "x") != 1 {
+		t.Errorf("group label repeated:\n%s", out)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/workload"
+)
+
+// Fig10Row compares one iteration-parameterized workload at its
+// default iteration count against triple iterations (paper §5.9).
+type Fig10Row struct {
+	Workload   string
+	Iters1     int
+	Iters3     int
+	Jobs1      int
+	Jobs3      int
+	Stages1    int
+	Stages3    int
+	JCT1       float64 // full MRD normalized to LRU, default iterations
+	JCT3       float64 // same with tripled iterations
+	Hit1, Hit3 float64
+}
+
+// Fig10 triples the iteration parameter of every workload that has one
+// and measures how the extra jobs, stages and references change MRD's
+// gains. The paper reports jobs +59%, stages +78%, average JCT 62%→54%
+// and hit ratio 94%→96% — with diminishing returns.
+func Fig10(cfg cluster.Config) []Fig10Row {
+	var names []string
+	for _, name := range workload.SparkBenchNames() {
+		base, err := workload.Build(name, workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		if base.Iterations == 0 {
+			continue // not iteration-parameterized (e.g. TC)
+		}
+		names = append(names, name)
+	}
+	rows := make([]Fig10Row, len(names))
+	forEach(len(names), func(i int) {
+		name := names[i]
+		base, err := workload.Build(name, workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		tripled, err := workload.Build(name, workload.Params{Iterations: 3 * base.Iterations})
+		if err != nil {
+			panic(err)
+		}
+		r := Fig10Row{
+			Workload: name,
+			Iters1:   base.Iterations, Iters3: tripled.Iterations,
+			Jobs1: len(base.Graph.Jobs), Jobs3: len(tripled.Graph.Jobs),
+			Stages1: base.Graph.ActiveStages(), Stages3: tripled.Graph.ActiveStages(),
+		}
+		r.JCT1, r.Hit1 = bestMRDvsLRU(base, cfg)
+		r.JCT3, r.Hit3 = bestMRDvsLRU(tripled, cfg)
+		rows[i] = r
+	})
+	return rows
+}
+
+// bestMRDvsLRU sweeps cache sizes and returns full MRD's best
+// normalized JCT and its hit ratio there.
+func bestMRDvsLRU(spec *workload.Spec, cfg cluster.Config) (jct, hit float64) {
+	ws := workingSet(spec, cfg)
+	jct = 1e18
+	for _, frac := range defaultFractions {
+		c := cfg.WithCache(cacheForFraction(spec, ws, frac, cfg))
+		lru := runOne(spec, c, SpecLRU)
+		mrd := runOne(spec, c, SpecMRD)
+		if r := norm(mrd, lru); r < jct {
+			jct, hit = r, mrd.HitRatio()
+		}
+	}
+	return jct, hit
+}
+
+// RenderFig10 formats the iteration-scaling table.
+func RenderFig10(rows []Fig10Row) string {
+	t := Table{
+		Title: "Figure 10: Effects of iterations in workload (full MRD, JCT normalized to LRU)",
+		Header: []string{"Workload", "Iters", "Iters x3", "Jobs", "Jobs x3",
+			"Stages", "Stages x3", "JCT", "JCT x3", "Hit", "Hit x3"},
+	}
+	var j1, j3, h1, h3, jobGrowth, stageGrowth float64
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload, itoa(r.Iters1), itoa(r.Iters3), itoa(r.Jobs1), itoa(r.Jobs3),
+			itoa(r.Stages1), itoa(r.Stages3),
+			pct(r.JCT1), pct(r.JCT3), pct1(r.Hit1), pct1(r.Hit3),
+		})
+		j1 += r.JCT1
+		j3 += r.JCT3
+		h1 += r.Hit1
+		h3 += r.Hit3
+		jobGrowth += float64(r.Jobs3)/float64(r.Jobs1) - 1
+		stageGrowth += float64(r.Stages3)/float64(r.Stages1) - 1
+	}
+	n := float64(len(rows))
+	t.Note = "Averages: jobs +" + pct(jobGrowth/n) + ", stages +" + pct(stageGrowth/n) +
+		", JCT " + pct(j1/n) + " -> " + pct(j3/n) + ", hit " + pct1(h1/n) + " -> " + pct1(h3/n) +
+		" (paper: jobs +59%, stages +78%, JCT 62% -> 54%, hit 94% -> 96%)"
+	return t.Render()
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mrdspark/internal/refdist"
+	"mrdspark/internal/workload"
+)
+
+// Fig2Cell is one (stage, cached RDD) point in the policy-behaviour
+// comparison (paper Fig 2): the value each policy's metric assigns the
+// RDD while that stage executes. Higher LRU age, lower LRC count and
+// higher (or infinite) MRD distance all mean "more likely evicted".
+type Fig2Cell struct {
+	LRUAge      int  // stages since last access
+	LRCCount    int  // remaining references
+	MRDDistance int  // stage distance; refdist.Infinite when dead
+	Referenced  bool // the stage reads this RDD
+	Exists      bool // the RDD has been created by this stage
+}
+
+// Fig2Trace is the full matrix for one workload.
+type Fig2Trace struct {
+	Workload string
+	RDDs     []int                    // cached RDD IDs, column order
+	Stages   []int                    // executed stage IDs, row order
+	Cells    map[int]map[int]Fig2Cell // stage -> rdd -> cell
+}
+
+// Fig2 traces the three policies' metrics across the CC workload, the
+// workload the paper uses to contrast LRU, LRC and MRD behaviour.
+func Fig2(name string) Fig2Trace {
+	spec, err := workload.Build(name, workload.Params{})
+	if err != nil {
+		panic(err)
+	}
+	g := spec.Graph
+	profile := refdist.FromGraph(g)
+	reads := g.StageReads()
+
+	tr := Fig2Trace{Workload: name, RDDs: profile.RDDs(), Cells: map[int]map[int]Fig2Cell{}}
+	lastAccess := map[int]int{}
+	exists := map[int]bool{}
+	for _, s := range g.ExecutedStages() {
+		tr.Stages = append(tr.Stages, s.ID)
+		readSet := map[int]bool{}
+		for _, r := range reads[s.ID] {
+			readSet[r.ID] = true
+		}
+		row := map[int]Fig2Cell{}
+		for _, id := range tr.RDDs {
+			cell := Fig2Cell{Referenced: readSet[id]}
+			if c, ok := profile.Creation(id); ok && c.Stage <= s.ID {
+				exists[id] = true
+				if _, seen := lastAccess[id]; !seen || c.Stage > lastAccess[id] {
+					lastAccess[id] = c.Stage
+				}
+			}
+			if exists[id] {
+				cell.Exists = true
+				cell.LRUAge = s.ID - lastAccess[id]
+				cell.LRCCount = remainingReads(profile, id, s.ID)
+				cell.MRDDistance = profile.StageDistance(id, s.ID)
+				if readSet[id] {
+					lastAccess[id] = s.ID
+					cell.LRUAge = 0
+				}
+			}
+			row[id] = cell
+		}
+		tr.Cells[s.ID] = row
+	}
+	return tr
+}
+
+func remainingReads(p *refdist.Profile, rddID, curStage int) int {
+	n := 0
+	for _, r := range p.Reads(rddID) {
+		if r.Stage >= curStage {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderFig2 formats the trace for the first maxRDDs cached RDDs as a
+// stage-by-RDD matrix of LRU/LRC/MRD values, referenced cells marked
+// with '*'.
+func RenderFig2(tr Fig2Trace, maxRDDs int) string {
+	rdds := tr.RDDs
+	if len(rdds) > maxRDDs {
+		rdds = rdds[:maxRDDs]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: policy metric traces on %s (cells: LRUage/LRCcount/MRDdist, * = referenced, . = not yet created, inf = no further references)\n", tr.Workload)
+	fmt.Fprintf(&b, "%-8s", "stage")
+	for _, id := range rdds {
+		fmt.Fprintf(&b, "%-16s", fmt.Sprintf("RDD%d", id))
+	}
+	b.WriteString("\n")
+	for _, sid := range tr.Stages {
+		fmt.Fprintf(&b, "%-8d", sid)
+		for _, id := range rdds {
+			c := tr.Cells[sid][id]
+			switch {
+			case !c.Exists:
+				fmt.Fprintf(&b, "%-16s", ".")
+			default:
+				dist := "inf"
+				if !refdist.IsInfinite(c.MRDDistance) {
+					dist = itoa(c.MRDDistance)
+				}
+				mark := ""
+				if c.Referenced {
+					mark = "*"
+				}
+				fmt.Fprintf(&b, "%-16s", fmt.Sprintf("%d/%d/%s%s", c.LRUAge, c.LRCCount, dist, mark))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

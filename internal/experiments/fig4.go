@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/metrics"
+	"mrdspark/internal/workload"
+)
+
+// Fig4Row is one workload's overall-performance result (paper Fig 4):
+// normalized JCT of each MRD variant against LRU, plus hit ratios, at
+// the workload's best cache size.
+type Fig4Row struct {
+	Workload string
+	JobType  workload.JobType
+	// CacheFraction is the working-set fraction where full MRD gained
+	// the most; CachePerNode is the resulting per-node size.
+	CacheFraction float64
+	CachePerNode  int64
+
+	LRU      metrics.Run
+	Evict    metrics.Run // MRD eviction only
+	Prefetch metrics.Run // MRD prefetching only
+	Full     metrics.Run
+
+	// Normalized JCTs (fraction of LRU's JCT; lower is better).
+	EvictJCT    float64
+	PrefetchJCT float64
+	FullJCT     float64
+}
+
+// Fig4 runs the overall-performance experiment: every SparkBench
+// workload, each cache size in the sweep, LRU vs the three MRD
+// configurations; the reported row for each workload is the cache size
+// where full MRD helps most (the paper's "best overall performance
+// gain for each workload-cache combination").
+func Fig4(cfg cluster.Config) []Fig4Row {
+	names := workload.SparkBenchNames()
+	rows := make([]Fig4Row, len(names))
+	forEach(len(names), func(i int) {
+		spec, err := workload.Build(names[i], workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		rows[i] = fig4Workload(spec, cfg)
+	})
+	return rows
+}
+
+func fig4Workload(spec *workload.Spec, cfg cluster.Config) Fig4Row {
+	ws := workingSet(spec, cfg)
+	best := Fig4Row{Workload: spec.Name, JobType: spec.JobType, FullJCT: 2}
+	for _, frac := range defaultFractions {
+		c := cfg.WithCache(cacheForFraction(spec, ws, frac, cfg))
+		lru := runOne(spec, c, SpecLRU)
+		full := runOne(spec, c, SpecMRD)
+		ratio := norm(full, lru)
+		if ratio < best.FullJCT {
+			best.CacheFraction = frac
+			best.CachePerNode = c.CacheBytes
+			best.LRU = lru
+			best.Full = full
+			best.FullJCT = ratio
+		}
+	}
+	c := cfg.WithCache(best.CachePerNode)
+	best.Evict = runOne(spec, c, SpecMRDEvictOnly)
+	best.Prefetch = runOne(spec, c, SpecMRDPrefOnly)
+	best.EvictJCT = norm(best.Evict, best.LRU)
+	best.PrefetchJCT = norm(best.Prefetch, best.LRU)
+	return best
+}
+
+// Extensions applies the Fig 4 treatment to the workloads beyond the
+// paper's suites (the future-work "testing with more benchmarks",
+// measured): best cache size per workload, LRU vs the MRD variants.
+func Extensions(cfg cluster.Config) []Fig4Row {
+	var names []string
+	for _, name := range workload.Names() {
+		spec, err := workload.Build(name, workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		if spec.Suite == "Extensions" {
+			names = append(names, name)
+		}
+	}
+	rows := make([]Fig4Row, len(names))
+	forEach(len(names), func(i int) {
+		spec, err := workload.Build(names[i], workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		rows[i] = fig4Workload(spec, cfg)
+	})
+	return rows
+}
+
+// RenderExtensions formats the extension-workload results.
+func RenderExtensions(rows []Fig4Row) string {
+	t := Table{
+		Title: "Extension workloads (beyond the paper's suites): MRD vs LRU, best cache size each",
+		Header: []string{"Workload", "JobType", "Cache/Node", "WS-frac",
+			"EvictOnly", "PrefetchOnly", "FullMRD", "LRU hit", "MRD hit"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload, string(r.JobType), human(r.CachePerNode), f2(r.CacheFraction),
+			pct(r.EvictJCT), pct(r.PrefetchJCT), pct(r.FullJCT),
+			pct1(r.LRU.HitRatio()), pct1(r.Full.HitRatio()),
+		})
+	}
+	t.Note = "BFS: frontier churn (purge-friendly); GBT: two-generation live window; StarJoin: idling dimensions."
+	return t.Render()
+}
+
+// norm returns run JCT as a fraction of the baseline JCT.
+func norm(run, baseline metrics.Run) float64 {
+	return metrics.Normalize(run, baseline).JCT
+}
+
+// Fig4Averages summarizes the three variants across workloads (the
+// paper's headline numbers: eviction-only 62%, prefetch-only 67%, full
+// 53% of LRU's JCT on average).
+func Fig4Averages(rows []Fig4Row) (evict, prefetch, full float64) {
+	for _, r := range rows {
+		evict += r.EvictJCT
+		prefetch += r.PrefetchJCT
+		full += r.FullJCT
+	}
+	n := float64(len(rows))
+	return evict / n, prefetch / n, full / n
+}
+
+// RenderFig4 formats the overall-performance table.
+func RenderFig4(rows []Fig4Row) string {
+	t := Table{
+		Title: "Figure 4: Overall performance of MRD vs LRU (normalized JCT, lower is better; best cache size per workload)",
+		Header: []string{"Workload", "JobType", "Cache/Node", "WS-frac",
+			"EvictOnly", "PrefetchOnly", "FullMRD", "LRU hit", "MRD hit"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload, string(r.JobType), human(r.CachePerNode), f2(r.CacheFraction),
+			pct(r.EvictJCT), pct(r.PrefetchJCT), pct(r.FullJCT),
+			pct1(r.LRU.HitRatio()), pct1(r.Full.HitRatio()),
+		})
+	}
+	e, p, f := Fig4Averages(rows)
+	t.Note = "Average normalized JCT: eviction-only " + pct(e) +
+		", prefetch-only " + pct(p) + ", full MRD " + pct(f) +
+		" (paper: 62%, 67%, 53%)"
+	labels := make([]string, len(rows))
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Workload
+		vals[i] = r.FullJCT
+	}
+	chart := barChart("\nFull MRD normalized JCT (shorter bar = bigger win):", labels, vals, pct, 1.0)
+	return t.Render() + chart
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/metrics"
+	"mrdspark/internal/workload"
+)
+
+// Fig7Point is one cache size in the SVD++ cache-size sweep (paper
+// Fig 7): hit ratio and runtime for LRU, LRC and MRD.
+type Fig7Point struct {
+	CachePerNode int64
+	TotalCache   int64
+	LRU          metrics.Run
+	LRC          metrics.Run
+	MRD          metrics.Run
+}
+
+// Fig7Result is the sweep plus the paper's cache-savings readout: the
+// smallest cache at which each policy reaches the target hit ratio.
+type Fig7Result struct {
+	Workload     string
+	Points       []Fig7Point
+	TargetHit    float64
+	LRUCacheneed int64
+	LRCCacheneed int64
+	MRDCacheneed int64
+}
+
+// Fig7 sweeps cache sizes for the SVD++ workload on the LRC cluster
+// with LRU, LRC and MRD (paper §5.6). The target hit ratio for the
+// savings computation is LRU's hit ratio at the middle of the sweep
+// (the paper uses 68%).
+func Fig7() Fig7Result {
+	cfg := cluster.LRC()
+	spec, err := workload.Build("SVD", workload.Params{})
+	if err != nil {
+		panic(err)
+	}
+	ws := workingSet(spec, cfg)
+	fracs := []float64{0.25, 0.4, 0.6, 0.85, 1.2, 1.8, 2.5}
+	res := Fig7Result{Workload: spec.Name}
+	for _, frac := range fracs {
+		c := cfg.WithCache(cacheForFraction(spec, ws, frac, cfg))
+		pt := Fig7Point{CachePerNode: c.CacheBytes, TotalCache: c.TotalCache()}
+		pt.LRU = runOne(spec, c, SpecLRU)
+		pt.LRC = runOne(spec, c, SpecLRC)
+		pt.MRD = runOne(spec, c, SpecMRD)
+		res.Points = append(res.Points, pt)
+	}
+	res.TargetHit = res.Points[len(res.Points)/2].LRU.HitRatio()
+	res.LRUCacheneed = cacheNeeded(res.Points, res.TargetHit, func(p Fig7Point) float64 { return p.LRU.HitRatio() })
+	res.LRCCacheneed = cacheNeeded(res.Points, res.TargetHit, func(p Fig7Point) float64 { return p.LRC.HitRatio() })
+	res.MRDCacheneed = cacheNeeded(res.Points, res.TargetHit, func(p Fig7Point) float64 { return p.MRD.HitRatio() })
+	return res
+}
+
+// cacheNeeded returns the smallest total cache in the sweep at which
+// the policy's hit ratio reaches the target (0 when never reached).
+func cacheNeeded(points []Fig7Point, target float64, hit func(Fig7Point) float64) int64 {
+	for _, p := range points {
+		if hit(p) >= target {
+			return p.TotalCache
+		}
+	}
+	return 0
+}
+
+// RenderFig7 formats the cache-size sweep.
+func RenderFig7(res Fig7Result) string {
+	t := Table{
+		Title: "Figure 7: Effects of cache size on hit ratio and runtime, SVD++ (LRC cluster)",
+		Header: []string{"TotalCache", "Cache/Node",
+			"LRU hit", "LRC hit", "MRD hit", "LRU JCT", "LRC JCT", "MRD JCT"},
+	}
+	for _, p := range res.Points {
+		t.Rows = append(t.Rows, []string{
+			human(p.TotalCache), human(p.CachePerNode),
+			pct1(p.LRU.HitRatio()), pct1(p.LRC.HitRatio()), pct1(p.MRD.HitRatio()),
+			p.LRU.JCTDuration().String(), p.LRC.JCTDuration().String(), p.MRD.JCTDuration().String(),
+		})
+	}
+	saving := 0.0
+	if res.LRUCacheneed > 0 && res.MRDCacheneed > 0 {
+		saving = 1 - float64(res.MRDCacheneed)/float64(res.LRUCacheneed)
+	}
+	t.Note = fmt.Sprintf("Target hit ratio %s: LRU needs %s, LRC needs %s, MRD needs %s — %s cache-space savings (paper: 68%% target, 0.88 GB vs 0.33 GB, 63%% savings)",
+		pct1(res.TargetHit), human(res.LRUCacheneed), human(res.LRCCacheneed), human(res.MRDCacheneed), pct1(saving))
+
+	labels := make([]string, len(res.Points))
+	series := map[string][]float64{"LRU": nil, "LRC": nil, "MRD": nil}
+	for i, p := range res.Points {
+		labels[i] = human(p.TotalCache)
+		series["LRU"] = append(series["LRU"], p.LRU.HitRatio())
+		series["LRC"] = append(series["LRC"], p.LRC.HitRatio())
+		series["MRD"] = append(series["MRD"], p.MRD.HitRatio())
+	}
+	chart := seriesChart("\nHit ratio vs total cache:", labels, series, []string{"LRU", "LRC", "MRD"}, pct1)
+	return t.Render() + chart
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"testing"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/workload"
+)
+
+// These are the headline reproduction assertions: the *shape* of the
+// paper's results must hold in the simulator (who wins, where, in
+// which direction), even though absolute factors differ from the
+// authors' testbed. They run full experiment drivers and are skipped
+// under -short.
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	rows := Fig4(cluster.Main())
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig4Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+		if r.FullJCT <= 0 || r.EvictJCT <= 0 || r.PrefetchJCT <= 0 {
+			t.Errorf("%s has non-positive normalized JCT", r.Workload)
+		}
+	}
+
+	evict, prefetch, full := Fig4Averages(rows)
+	if full >= 1 {
+		t.Errorf("full MRD average %.2f >= 1: no overall win", full)
+	}
+	if evict >= 1 {
+		t.Errorf("eviction-only average %.2f >= 1", evict)
+	}
+	// Paper: eviction provides the bulk of the improvement.
+	if evict > prefetch+0.02 {
+		t.Errorf("eviction-only (%.2f) much worse than prefetch-only (%.2f); paper has it stronger", evict, prefetch)
+	}
+	// Full MRD is at least as good as either single mechanism on average.
+	if full > evict+0.02 || full > prefetch+0.02 {
+		t.Errorf("full MRD (%.2f) worse than its parts (%.2f, %.2f)", full, evict, prefetch)
+	}
+
+	// I/O-intensive workloads gain substantially more than the
+	// CPU-intensive ones (paper §5.10).
+	var ioSum, cpuSum float64
+	var ioN, cpuN int
+	for _, r := range rows {
+		switch r.JobType {
+		case workload.IOIntensive:
+			ioSum += r.FullJCT
+			ioN++
+		case workload.CPUIntensive:
+			cpuSum += r.FullJCT
+			cpuN++
+		}
+	}
+	if ioSum/float64(ioN) >= cpuSum/float64(cpuN) {
+		t.Errorf("I/O-intensive avg %.2f not better than CPU-intensive %.2f",
+			ioSum/float64(ioN), cpuSum/float64(cpuN))
+	}
+	// DT is the paper's weakest case: nearly no improvement.
+	if dt := byName["DT"]; dt.FullJCT < 0.85 {
+		t.Errorf("DT improved too much (%.2f); paper has 88-100%%", dt.FullJCT)
+	}
+	// Hit ratio never degrades at the chosen operating points.
+	for _, r := range rows {
+		if r.Full.HitRatio() < r.LRU.HitRatio()-0.05 {
+			t.Errorf("%s: MRD hit %.2f well below LRU %.2f", r.Workload, r.Full.HitRatio(), r.LRU.HitRatio())
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res := Fig7()
+	if len(res.Points) < 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Hit ratios must not decrease as cache grows (monotone within
+	// noise), and MRD dominates LRU at every size.
+	for i, p := range res.Points {
+		if p.MRD.HitRatio() < p.LRU.HitRatio()-0.02 {
+			t.Errorf("point %d: MRD hit %.2f < LRU %.2f", i, p.MRD.HitRatio(), p.LRU.HitRatio())
+		}
+		if p.MRD.JCT > p.LRU.JCT*105/100 {
+			t.Errorf("point %d: MRD JCT %d > LRU %d", i, p.MRD.JCT, p.LRU.JCT)
+		}
+		if i > 0 && p.LRU.HitRatio() < res.Points[i-1].LRU.HitRatio()-0.05 {
+			t.Errorf("LRU hit ratio fell sharply with more cache at point %d", i)
+		}
+	}
+	// The cache-savings readout: MRD reaches the target hit ratio with
+	// no more cache than LRU needs (paper: 63% less).
+	if res.MRDCacheneed == 0 {
+		t.Error("MRD never reached the target hit ratio")
+	}
+	if res.LRUCacheneed != 0 && res.MRDCacheneed > res.LRUCacheneed {
+		t.Errorf("MRD needs %d > LRU %d for the same hit ratio", res.MRDCacheneed, res.LRUCacheneed)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	rows := Fig8(cluster.Main())
+	lp, km := rows[0], rows[1]
+	// Job distance degrades LP (many stages per job)...
+	if lp.BJCT < lp.AJCT-0.02 {
+		t.Errorf("LP: job distance (%.2f) beats stage distance (%.2f)", lp.BJCT, lp.AJCT)
+	}
+	// ...and the degradation is bigger than KM's, where stages≈jobs.
+	if (lp.BJCT - lp.AJCT) < (km.BJCT-km.AJCT)-0.02 {
+		t.Errorf("metric choice hurt KM (%.2f) more than LP (%.2f)",
+			km.BJCT-km.AJCT, lp.BJCT-lp.AJCT)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	rows := Fig9(cluster.Main())
+	km, tc := rows[0], rows[1]
+	// Ad-hoc mode must not beat recurring mode for KM (17 jobs)...
+	if km.BJCT < km.AJCT-0.02 {
+		t.Errorf("KM: ad-hoc (%.2f) beats recurring (%.2f)", km.BJCT, km.AJCT)
+	}
+	// ...while TC (2 jobs) is indifferent.
+	if d := tc.BJCT - tc.AJCT; d > 0.1 || d < -0.1 {
+		t.Errorf("TC: ad-hoc vs recurring differ by %.2f; paper: indiscernible", d)
+	}
+	// And KM's recurring benefit exceeds TC's.
+	if (km.BJCT - km.AJCT) < (tc.BJCT-tc.AJCT)-0.02 {
+		t.Errorf("recurrence helped TC more than KM")
+	}
+}
+
+func TestAblationMINShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	rows := AblationMIN(cluster.Main())
+	byWorkload := map[string]map[string]AblationRow{}
+	for _, r := range rows {
+		if byWorkload[r.Workload] == nil {
+			byWorkload[r.Workload] = map[string]AblationRow{}
+		}
+		byWorkload[r.Workload][r.Variant] = r
+	}
+	worse := 0
+	for w, m := range byWorkload {
+		min, lru := m["MIN"], m["LRU"]
+		if min.Run.HitRatio() < lru.Run.HitRatio()-0.02 {
+			t.Logf("%s: MIN hit %.2f below LRU %.2f", w, min.Run.HitRatio(), lru.Run.HitRatio())
+			worse++
+		}
+	}
+	// The stage-granular oracle may lose to LRU on task-granular
+	// effects occasionally, but not broadly.
+	if worse > 3 {
+		t.Errorf("MIN below LRU on %d/14 workloads", worse)
+	}
+}
+
+func TestStorageLevelStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	rows := StorageLevelStudy(cluster.Main())
+	if len(rows) != 4*2*4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Level {
+		case "MEMORY_AND_DISK":
+			if r.Run.Recomputes != 0 {
+				t.Errorf("%s/%s: recomputes under restorable caching", r.Workload, r.Policy)
+			}
+		case "MEMORY_ONLY":
+			if r.Run.DiskPromotes != 0 {
+				t.Errorf("%s/%s: promotes under MEMORY_ONLY", r.Workload, r.Policy)
+			}
+		default:
+			t.Errorf("unknown level %q", r.Level)
+		}
+		if r.Policy == "LRU" && (r.NormJCT < 0.999 || r.NormJCT > 1.001) {
+			t.Errorf("%s/%s LRU norm = %v, want 1", r.Workload, r.Level, r.NormJCT)
+		}
+	}
+	// The informed policies beat LRU under both levels on these
+	// I/O-intensive workloads.
+	for _, r := range rows {
+		if r.Policy == "MRD-evict" && r.NormJCT > 1.0 {
+			t.Errorf("%s/%s: MRD-evict %v worse than LRU", r.Workload, r.Level, r.NormJCT)
+		}
+	}
+}
+
+func TestFailureSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	rows := FailureSweep(cluster.Main())
+	if len(rows) != 3*4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FailStage < 0 {
+			if r.Overhead != 1 || r.Reissues != 0 || r.Run.Recomputes != 0 {
+				t.Errorf("%s healthy row wrong: %+v", r.Workload, r)
+			}
+			continue
+		}
+		if r.Overhead < 1 {
+			t.Errorf("%s@%d: failure made the run faster (%.2f)", r.Workload, r.FailStage, r.Overhead)
+		}
+		if r.Overhead > 2 {
+			t.Errorf("%s@%d: recovery overhead %.2f implausibly large", r.Workload, r.FailStage, r.Overhead)
+		}
+		if r.Reissues != 1 {
+			t.Errorf("%s@%d: table reissues = %d, want 1", r.Workload, r.FailStage, r.Reissues)
+		}
+		if r.Run.Recomputes == 0 {
+			t.Errorf("%s@%d: no recomputation after disk loss", r.Workload, r.FailStage)
+		}
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	rows := Sensitivity(cluster.Main(), []string{"CC", "PO"}, []int64{10, 70, 280})
+	byWorkload := map[string][]SensitivityRow{}
+	for _, r := range rows {
+		byWorkload[r.Workload] = append(byWorkload[r.Workload], r)
+	}
+	for w, rs := range byWorkload {
+		if len(rs) != 3 {
+			t.Fatalf("%s: points = %d", w, len(rs))
+		}
+		slow, fast := rs[0], rs[2]
+		// The §5.10 direction: more I/O-bound (slow disk) means a
+		// bigger MRD win.
+		if slow.MRDJCT > fast.MRDJCT+0.03 {
+			t.Errorf("%s: slow-disk gain (%.2f) worse than fast-disk (%.2f)", w, slow.MRDJCT, fast.MRDJCT)
+		}
+		// Hit ratios are policy properties, not bandwidth properties.
+		if slow.LRUHit != fast.LRUHit {
+			t.Errorf("%s: LRU hit ratio changed with bandwidth (%.3f vs %.3f)", w, slow.LRUHit, fast.LRUHit)
+		}
+		for _, r := range rs {
+			if r.MRDJCT > 1.02 {
+				t.Errorf("%s@%dMBps: MRD worse than LRU (%.2f)", w, r.DiskMBps, r.MRDJCT)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/core"
+	"mrdspark/internal/metrics"
+	"mrdspark/internal/policy"
+	"mrdspark/internal/refdist"
+	"mrdspark/internal/sim"
+	"mrdspark/internal/workload"
+)
+
+// PolicySpec identifies one policy configuration under test.
+type PolicySpec struct {
+	// Kind selects the policy family: LRU, FIFO, LFU, LRC, MemTune,
+	// MIN, or MRD.
+	Kind string
+	// MRD holds the MRD variant options (Kind == "MRD").
+	MRD core.Options
+	// AdHoc runs DAG-aware policies (MRD, LRC) without a recurring
+	// profile: they learn the DAG one job at a time.
+	AdHoc bool
+	// Label overrides the reported policy name.
+	Label string
+}
+
+// Common policy specs.
+var (
+	SpecLRU          = PolicySpec{Kind: "LRU"}
+	SpecLRC          = PolicySpec{Kind: "LRC"}
+	SpecMemTune      = PolicySpec{Kind: "MemTune"}
+	SpecMIN          = PolicySpec{Kind: "MIN"}
+	SpecMRD          = PolicySpec{Kind: "MRD"}
+	SpecMRDEvictOnly = PolicySpec{Kind: "MRD", MRD: core.Options{DisablePrefetch: true}}
+	SpecMRDPrefOnly  = PolicySpec{Kind: "MRD", MRD: core.Options{DisableEviction: true}}
+)
+
+// Factory builds the policy factory for a workload's DAG.
+func (p PolicySpec) Factory(spec *workload.Spec) policy.Factory {
+	g := spec.Graph
+	switch p.Kind {
+	case "LRU":
+		return policy.NewLRU()
+	case "FIFO":
+		return policy.NewFIFO()
+	case "LFU":
+		return policy.NewLFU()
+	case "Hyperbolic":
+		return policy.NewHyperbolic()
+	case "GDS":
+		return policy.NewGDS()
+	case "MemTune":
+		return policy.NewMemTune(g)
+	case "MIN":
+		return policy.NewMIN(g)
+	case "LRC":
+		if p.AdHoc {
+			return policy.NewLRCAdHoc()
+		}
+		return policy.NewLRC(g)
+	case "MRD":
+		var prof *core.AppProfiler
+		if p.AdHoc {
+			prof = core.NewAppProfiler()
+		} else {
+			prof = core.NewRecurringProfiler(refdist.FromGraph(g))
+		}
+		return core.NewManager(g, prof, p.MRD)
+	default:
+		panic(fmt.Sprintf("experiments: unknown policy kind %q", p.Kind))
+	}
+}
+
+// Name returns the display name for result tables.
+func (p PolicySpec) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	name := p.Kind
+	if p.Kind == "MRD" {
+		switch {
+		case p.MRD.DisablePrefetch && p.MRD.DisableEviction:
+			name = "MRD(off)"
+		case p.MRD.DisablePrefetch:
+			name = "MRD-evict"
+		case p.MRD.DisableEviction:
+			name = "MRD-prefetch"
+		}
+		if p.MRD.Metric == core.JobDistance {
+			name += "(job)"
+		}
+		if p.AdHoc {
+			name += "(ad-hoc)"
+		}
+	}
+	return name
+}
+
+// runOne simulates the workload under the policy on the cluster.
+func runOne(spec *workload.Spec, cfg cluster.Config, p PolicySpec) metrics.Run {
+	run, err := sim.Run(spec.Graph, cfg, p.Factory(spec), spec.Name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s on %s: %v", p.Name(), spec.Name, err))
+	}
+	run.Policy = p.Name()
+	return run
+}
+
+// workingSet measures the workload's peak *live* cached working set:
+// the cluster-wide occupancy high-water mark under MRD eviction with
+// effectively unbounded cache, where the purge of dead generations
+// leaves exactly the blocks that still have references. This is the
+// natural scale for cache-size sweeps: below it even a clairvoyant
+// policy must miss; around and above it the policies differ only in
+// how well they separate live data from garbage.
+func workingSet(spec *workload.Spec, cfg cluster.Config) int64 {
+	big := cfg.WithCache(1 << 42)
+	run := runOne(spec, big, SpecMRDEvictOnly)
+	return run.PeakCacheUsed
+}
+
+// cacheForFraction converts a working-set fraction to a per-node cache
+// size, flooring at a few of the workload's largest cached blocks so
+// every configuration can actually cache something.
+func cacheForFraction(spec *workload.Spec, ws int64, frac float64, cfg cluster.Config) int64 {
+	perNode := int64(frac * float64(ws) / float64(cfg.Nodes))
+	var maxBlock int64
+	for _, r := range spec.Graph.CachedRDDs() {
+		if r.PartSize > maxBlock {
+			maxBlock = r.PartSize
+		}
+	}
+	if floor := 2 * maxBlock; perNode < floor {
+		perNode = floor
+	}
+	if perNode < 1*cluster.MB {
+		perNode = 1 * cluster.MB
+	}
+	return perNode
+}
+
+// defaultFractions is the cache-size sweep used when an experiment
+// reports "the best cache size per workload", mirroring the paper's
+// methodology of running several cache sizes and reporting the best
+// gain (§5.3).
+var defaultFractions = []float64{0.4, 0.6, 0.85, 1.2, 1.8}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mrdspark/internal/refdist"
+	"mrdspark/internal/workload"
+)
+
+// ScatterPoint is one workload in the performance-correlation plots
+// (paper Figs 11 and 12): the workload property on X, the JCT
+// reduction under full MRD on Y.
+type ScatterPoint struct {
+	Workload string
+	X        float64
+	// Reduction is 1 - normalized JCT: the fraction of LRU's runtime
+	// MRD eliminated.
+	Reduction float64
+}
+
+// Trend is an ordinary-least-squares fit of the scatter.
+type Trend struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// OLS fits y = Slope*x + Intercept and computes R².
+func OLS(points []ScatterPoint) Trend {
+	n := float64(len(points))
+	if n < 2 {
+		return Trend{}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for _, p := range points {
+		sx += p.X
+		sy += p.Reduction
+		sxx += p.X * p.X
+		sxy += p.X * p.Reduction
+		syy += p.Reduction * p.Reduction
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Trend{}
+	}
+	t := Trend{Slope: (n*sxy - sx*sy) / den}
+	t.Intercept = (sy - t.Slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		t.R2 = 1
+		return t
+	}
+	var ssRes float64
+	for _, p := range points {
+		e := p.Reduction - (t.Slope*p.X + t.Intercept)
+		ssRes += e * e
+	}
+	t.R2 = 1 - ssRes/ssTot
+	return t
+}
+
+// Fig11 relates each workload's JCT reduction to its average stage
+// distance (paper §5.10, R²=0.46 trendline). It reuses the Fig 4 rows
+// so both scatters describe the same runs.
+func Fig11(rows []Fig4Row) ([]ScatterPoint, Trend) {
+	var pts []ScatterPoint
+	for _, r := range rows {
+		spec, err := workload.Build(r.Workload, workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		st := refdist.FromGraph(spec.Graph).Stats()
+		pts = append(pts, ScatterPoint{Workload: r.Workload, X: st.AvgStageDistance, Reduction: 1 - r.FullJCT})
+	}
+	return pts, OLS(pts)
+}
+
+// Fig12 relates each workload's JCT reduction to its average cached
+// references per active stage (paper §5.10, R²=0.71 trendline).
+func Fig12(rows []Fig4Row) ([]ScatterPoint, Trend) {
+	var pts []ScatterPoint
+	for _, r := range rows {
+		spec, err := workload.Build(r.Workload, workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		c := spec.Graph.Characterize()
+		pts = append(pts, ScatterPoint{Workload: r.Workload, X: c.RefsPerStage, Reduction: 1 - r.FullJCT})
+	}
+	return pts, OLS(pts)
+}
+
+// RenderScatter formats one correlation plot as a table plus its
+// trendline.
+func RenderScatter(title, xLabel string, pts []ScatterPoint, tr Trend, paperNote string) string {
+	t := Table{
+		Title:  title,
+		Header: []string{"Workload", xLabel, "JCT reduction"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{p.Workload, f2(p.X), pct1(p.Reduction)})
+	}
+	t.Note = fmt.Sprintf("Trendline: reduction = %.4f*x + %.4f, R²=%.2f. %s",
+		tr.Slope, tr.Intercept, tr.R2, paperNote)
+	return t.Render()
+}

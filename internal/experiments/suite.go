@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mrdspark/internal/cluster"
+)
+
+// Experiment is one runnable artifact reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() string
+}
+
+// Suite returns every experiment in paper order. Figures that share
+// runs (4, 11, 12) still execute independently so each ID is
+// self-contained.
+func Suite() []Experiment {
+	main := cluster.Main
+	return []Experiment{
+		{"fig2", "Policy behaviour comparison on CC", func() string {
+			return RenderFig2(Fig2("CC"), 10)
+		}},
+		{"table1", "Reference distance characteristics", func() string {
+			return RenderTable1(Table1())
+		}},
+		{"table3", "SparkBench benchmark characteristics", func() string {
+			return RenderTable3(Table3())
+		}},
+		{"fig4", "Overall performance of MRD", func() string {
+			return RenderFig4(Fig4(main()))
+		}},
+		{"fig5", "Comparison to LRC", func() string {
+			return RenderFig5(Fig5())
+		}},
+		{"fig6", "Comparison to MemTune", func() string {
+			return RenderFig6(Fig6())
+		}},
+		{"fig7", "Impact of cache sizes (SVD++)", func() string {
+			return RenderFig7(Fig7())
+		}},
+		{"fig8", "Stage distance vs job distance", func() string {
+			return RenderFig8(Fig8(main()))
+		}},
+		{"fig9", "Ad-hoc vs recurring runs", func() string {
+			return RenderFig9(Fig9(main()))
+		}},
+		{"fig10", "Impact of iterations", func() string {
+			return RenderFig10(Fig10(main()))
+		}},
+		{"fig11", "Performance vs stage distance", func() string {
+			pts, tr := Fig11(Fig4(main()))
+			return RenderScatter(
+				"Figure 11: Relationship of performance and stage distance",
+				"AvgStageDist", pts, tr, "Paper trendline R²=0.46.")
+		}},
+		{"fig12", "Performance vs references per stage", func() string {
+			pts, tr := Fig12(Fig4(main()))
+			return RenderScatter(
+				"Figure 12: Relationship of performance and references per stage",
+				"Refs/Stage", pts, tr, "Paper trendline R²=0.71.")
+		}},
+		{"ablation-purge", "A1: all-out purge on/off", func() string {
+			return RenderAblation("Ablation A1: infinite-distance purge",
+				AblationPurge(main()),
+				"Full MRD vs MRD without the cluster-wide purge order (paper asserts the aggressive purge frees space earlier; not isolated there).")
+		}},
+		{"ablation-threshold", "A2: prefetch threshold sweep", func() string {
+			return RenderAblation("Ablation A2: prefetch threshold and distance pre-check",
+				AblationThreshold(main()),
+				"The paper fixes the threshold at 25% experimentally and leaves the pre-check as future work (§4.3, §4.4).")
+		}},
+		{"ablation-min", "A3: distance to Belady MIN", func() string {
+			return RenderAblation("Ablation A3: eviction policies vs the MIN oracle",
+				AblationMIN(main()),
+				"MIN is Belady's clairvoyant bound (§3.1); MRD eviction approximates it at stage granularity.")
+		}},
+		{"ablation-dynamic", "A4: dynamic prefetch threshold", func() string {
+			return RenderAblation("Ablation A4: fixed vs adaptive prefetch threshold (paper future work §6)",
+				AblationDynamicThreshold(main()),
+				"MRD-dynamic adapts the forced-prefetch threshold from prefetch-outcome reports; MRD-dyn-from85 must recover from a bad initial setting.")
+		}},
+		{"ablation-tiebreak", "A5: equal-distance tie-breaking", func() string {
+			return RenderAblation("Ablation A5: tie-breaking among equal-distance victims (paper future work §3.3)",
+				AblationTieBreak(main()),
+				"LRU (paper's implicit behaviour) vs largest-first and smallest-first size-aware tie-breaks.")
+		}},
+		{"variance", "Multi-seed robustness (20 runs per config, as in §5.3)", func() string {
+			return RenderVariance(Variance(main(), []string{"SCC", "PO", "CC", "SVD", "KM"}, 20))
+		}},
+		{"extensions", "Extension workloads beyond the paper's suites", func() string {
+			return RenderExtensions(Extensions(main()))
+		}},
+		{"sensitivity", "I/O-intensity sensitivity (disk-bandwidth sweep)", func() string {
+			return RenderSensitivity(Sensitivity(main(),
+				[]string{"CC", "PO", "SVD"}, []int64{10, 20, 35, 70, 140, 280}))
+		}},
+		{"failure", "Fault tolerance under node loss (§4.4)", func() string {
+			return RenderFailure(FailureSweep(main()))
+		}},
+		{"storage-level", "Restorable vs recompute-on-miss caching", func() string {
+			return RenderStorageLevel(StorageLevelStudy(main()))
+		}},
+		{"baseline-oblivious", "DAG-oblivious baselines (Hyperbolic, GDS, LFU)", func() string {
+			return RenderAblation("DAG-oblivious baselines vs MRD (paper §2's orthogonal related work)",
+				BaselineOblivious(main()),
+				"Hyperbolic caching (Blankstein et al. 2017) and GreedyDual-Size have no DAG information; the gap to MRD is the value of the DAG.")
+		}},
+	}
+}
+
+// RunSuite executes the selected experiments (nil or empty selection
+// means all), writing each section to w with timing lines.
+func RunSuite(w io.Writer, only map[string]bool) error {
+	for _, e := range Suite() {
+		if len(only) > 0 && !only[e.ID] {
+			continue
+		}
+		start := time.Now()
+		body := e.Run()
+		if _, err := fmt.Fprintf(w, "== %s: %s (ran in %v)\n\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), body); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strconv"
+
+	"mrdspark/internal/refdist"
+	"mrdspark/internal/workload"
+)
+
+// Table1Row is one workload's reference-distance characteristics
+// (paper Table 1).
+type Table1Row struct {
+	Workload string
+	Suite    string
+	Stats    refdist.Stats
+	// Paper values for the side-by-side comparison (zero where the
+	// paper reports zero).
+	PaperAvgJob   float64
+	PaperMaxJob   int
+	PaperAvgStage float64
+	PaperMaxStage int
+}
+
+// paperTable1 records the published Table 1 numbers.
+var paperTable1 = map[string][4]float64{
+	// name: avg job, max job, avg stage, max stage
+	"KM":           {5.15, 16, 5.34, 19},
+	"LinR":         {1.24, 5, 1.76, 8},
+	"LogR":         {1.53, 6, 2.00, 9},
+	"SVM":          {1.48, 6, 1.96, 10},
+	"DT":           {2.71, 9, 4.38, 15},
+	"MF":           {1.56, 7, 3.31, 18},
+	"PR":           {1.74, 5, 6.08, 19},
+	"TC":           {0.07, 1, 1.23, 6},
+	"SP":           {0.19, 1, 1.19, 4},
+	"LP":           {7.19, 22, 28.37, 85},
+	"SVD":          {3.51, 11, 6.82, 23},
+	"CC":           {1.30, 4, 5.31, 16},
+	"SCC":          {7.77, 24, 29.96, 90},
+	"PO":           {1.28, 4, 5.45, 16},
+	"HB-Sort":      {0, 0, 0, 0},
+	"HB-WordCount": {0, 0, 0, 0},
+	"HB-TeraSort":  {0.22, 1, 0.22, 1},
+	"HB-PageRank":  {0, 0, 0.09, 2},
+	"HB-Bayes":     {2.09, 7, 3.23, 9},
+	"HB-KMeans":    {6.08, 19, 6.60, 25},
+}
+
+// Table1 measures the reference-distance characteristics of all 20
+// benchmark workloads from their DAGs.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, name := range workload.Names() {
+		spec, err := workload.Build(name, workload.Params{})
+		if err != nil {
+			panic(err) // registry names are always buildable
+		}
+		if spec.Suite != "SparkBench" && spec.Suite != "HiBench" {
+			continue // the paper's Table 1 covers only its two suites
+		}
+		profile := refdist.FromGraph(spec.Graph)
+		row := Table1Row{Workload: name, Suite: spec.Suite, Stats: profile.Stats()}
+		if p, ok := paperTable1[name]; ok {
+			row.PaperAvgJob, row.PaperMaxJob = p[0], int(p[1])
+			row.PaperAvgStage, row.PaperMaxStage = p[2], int(p[3])
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable1 formats the measured characteristics next to the
+// paper's values.
+func RenderTable1(rows []Table1Row) string {
+	t := Table{
+		Title: "Table 1: Reference distance characteristics of benchmark workloads (measured vs paper)",
+		Header: []string{"Workload", "Suite",
+			"AvgJobDist", "(paper)", "MaxJobDist", "(paper)",
+			"AvgStageDist", "(paper)", "MaxStageDist", "(paper)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload, r.Suite,
+			f2(r.Stats.AvgJobDistance), f2(r.PaperAvgJob),
+			itoa(r.Stats.MaxJobDistance), itoa(r.PaperMaxJob),
+			f2(r.Stats.AvgStageDistance), f2(r.PaperAvgStage),
+			itoa(r.Stats.MaxStageDistance), itoa(r.PaperMaxStage),
+		})
+	}
+	return t.Render()
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

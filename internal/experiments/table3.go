@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/metrics"
+	"mrdspark/internal/policy"
+	"mrdspark/internal/sim"
+	"mrdspark/internal/workload"
+)
+
+// Table3Row is one SparkBench workload's characteristics (paper
+// Table 3): static DAG shape plus I/O volumes measured from a run
+// under the default LRU policy.
+type Table3Row struct {
+	Workload   string
+	FullName   string
+	Category   string
+	JobType    workload.JobType
+	InputBytes int64
+	Chars      dag.Characteristics
+	Run        metrics.Run
+}
+
+// Table3 builds each SparkBench workload, characterizes its DAG and
+// measures its stage-input and shuffle volumes with a plain-LRU run on
+// the main cluster.
+func Table3() []Table3Row {
+	var rows []Table3Row
+	for _, name := range workload.SparkBenchNames() {
+		spec, err := workload.Build(name, workload.Params{})
+		if err != nil {
+			panic(err)
+		}
+		run, err := sim.Run(spec.Graph, cluster.Main(), policy.NewLRU(), spec.Name)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Table3Row{
+			Workload:   spec.Name,
+			FullName:   spec.FullName,
+			Category:   spec.Category,
+			JobType:    spec.JobType,
+			InputBytes: spec.InputBytes,
+			Chars:      spec.Graph.Characterize(),
+			Run:        run,
+		})
+	}
+	return rows
+}
+
+// RenderTable3 formats the workload characteristics table.
+func RenderTable3(rows []Table3Row) string {
+	t := Table{
+		Title: "Table 3: SparkBench benchmark characteristics (measured)",
+		Header: []string{"Workload", "Category", "Input", "StageInputs", "ShuffleR/W",
+			"Jobs", "Stages", "Active", "RDDs", "Refs/RDD", "Refs/Stage", "JobType"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload, r.Category, human(r.InputBytes), human(r.Run.StageInputBytes),
+			human(r.Run.ShuffleReadBytes) + "/" + human(r.Run.ShuffleWriteBytes),
+			itoa(r.Chars.Jobs), itoa(r.Chars.Stages), itoa(r.Chars.ActiveStages),
+			itoa(r.Chars.RDDs), f2(r.Chars.RefsPerRDD), f2(r.Chars.RefsPerStage),
+			string(r.JobType),
+		})
+	}
+	return t.Render()
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHitRatio(t *testing.T) {
+	if r := (Run{}).HitRatio(); r != 0 {
+		t.Errorf("empty run hit ratio = %v", r)
+	}
+	if r := (Run{Hits: 3, Misses: 1}).HitRatio(); r != 0.75 {
+		t.Errorf("hit ratio = %v, want 0.75", r)
+	}
+	if r := (Run{Hits: 0, Misses: 5}).HitRatio(); r != 0 {
+		t.Errorf("all-miss hit ratio = %v", r)
+	}
+}
+
+func TestJCTDuration(t *testing.T) {
+	r := Run{JCT: 1_500_000}
+	if r.JCTDuration() != 1500*time.Millisecond {
+		t.Errorf("JCTDuration = %v", r.JCTDuration())
+	}
+}
+
+func TestPrefetchAccuracy(t *testing.T) {
+	if a := (Run{}).PrefetchAccuracy(); a != 0 {
+		t.Errorf("accuracy with no prefetches = %v", a)
+	}
+	if a := (Run{PrefetchIssued: 4, PrefetchUsed: 3}).PrefetchAccuracy(); a != 0.75 {
+		t.Errorf("accuracy = %v", a)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	base := Run{JCT: 1000, Hits: 5, Misses: 5}
+	fast := Run{JCT: 530, Hits: 9, Misses: 1}
+	n := Normalize(fast, base)
+	if n.JCT != 0.53 {
+		t.Errorf("normalized JCT = %v", n.JCT)
+	}
+	if n.HitRatio != 0.4 {
+		t.Errorf("hit delta = %v", n.HitRatio)
+	}
+	// Zero baseline does not divide by zero.
+	if n := Normalize(fast, Run{}); n.JCT != 1 {
+		t.Errorf("zero-baseline JCT = %v", n.JCT)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	runs := []Run{
+		{JCT: 100, Hits: 1, Misses: 1, Evictions: 2},
+		{JCT: 300, Hits: 3, Misses: 1, Evictions: 4},
+	}
+	s := Aggregate(runs)
+	if s.N != 2 || s.MeanJCT != 200 || s.MinJCT != 100 || s.MaxJCT != 300 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MeanHit != (0.5+0.75)/2 {
+		t.Errorf("mean hit = %v", s.MeanHit)
+	}
+	if s.MeanEvicted != 3 {
+		t.Errorf("mean evicted = %v", s.MeanEvicted)
+	}
+}
+
+func TestAggregateEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Aggregate(nil) did not panic")
+		}
+	}()
+	Aggregate(nil)
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Workload: "PR", Policy: "MRD", JCT: 1000, Hits: 9, Misses: 1}
+	s := r.String()
+	for _, want := range []string{"PR", "MRD", "90.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

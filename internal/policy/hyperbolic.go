@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"mrdspark/internal/block"
+)
+
+// Hyperbolic implements hyperbolic caching (Blankstein et al., USENIX
+// ATC 2017), one of the DAG-oblivious policies the paper's §2 cites as
+// orthogonal related work. Each block's priority is its access
+// frequency divided by its time in cache — blocks that earn few hits
+// per unit of residence are evicted first. The original system samples
+// candidates for O(1) eviction; at simulator scale we evaluate the
+// priority exactly, which only makes the baseline stronger.
+//
+// Time is measured in accesses observed by the node (a logical clock),
+// which is how the original evaluates priorities without wall-clock
+// dependence.
+type Hyperbolic struct{}
+
+// NewHyperbolic returns the hyperbolic-caching factory.
+func NewHyperbolic() *Hyperbolic { return &Hyperbolic{} }
+
+// Name implements Factory.
+func (*Hyperbolic) Name() string { return "Hyperbolic" }
+
+// NewNodePolicy implements Factory.
+func (*Hyperbolic) NewNodePolicy(int) Policy {
+	return &hyperbolicNode{entries: map[block.ID]*hypEntry{}}
+}
+
+type hypEntry struct {
+	hits    int
+	addedAt int64
+}
+
+type hyperbolicNode struct {
+	clock   int64
+	entries map[block.ID]*hypEntry
+}
+
+func (n *hyperbolicNode) OnAdd(id block.ID) {
+	n.clock++
+	n.entries[id] = &hypEntry{hits: 1, addedAt: n.clock}
+}
+
+func (n *hyperbolicNode) OnAccess(id block.ID) {
+	n.clock++
+	if e, ok := n.entries[id]; ok {
+		e.hits++
+	}
+}
+
+func (n *hyperbolicNode) OnRemove(id block.ID) {
+	delete(n.entries, id)
+}
+
+// priority returns hits per unit of residence time. Fresh blocks
+// (residence 0) get their raw hit count — effectively protected, as in
+// the original.
+func (n *hyperbolicNode) priority(e *hypEntry) float64 {
+	age := n.clock - e.addedAt
+	if age <= 0 {
+		age = 1
+	}
+	return float64(e.hits) / float64(age)
+}
+
+func (n *hyperbolicNode) Victim(evictable func(block.ID) bool) (block.ID, bool) {
+	best, found := block.ID{}, false
+	bestP := 0.0
+	for id, e := range n.entries {
+		if !evictable(id) {
+			continue
+		}
+		p := n.priority(e)
+		// Deterministic tiebreak on the block ID.
+		if !found || p < bestP || (p == bestP && id.Less(best)) {
+			best, bestP, found = id, p, true
+		}
+	}
+	return best, found
+}

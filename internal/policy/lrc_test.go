@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"testing"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/dag"
+)
+
+// lrcGraph: data cached, read at stages 1, 2 and 3 (single-stage jobs);
+// other cached, read at stage 2 only.
+func lrcGraph() (*dag.Graph, *dag.RDD, *dag.RDD) {
+	g := dag.New()
+	src := g.Source("in", 2, 1<<20)
+	data := src.Map("data").Cache()
+	other := src.Map("other").Cache()
+	g.Count(data.ZipPartitions("both", other)) // stage 0: creates both
+	g.Count(data.Map("u1"))                    // stage 1
+	g.Count(data.ZipPartitions("u2", other))   // stage 2: reads both
+	g.Count(data.Map("u3"))                    // stage 3
+	return g, data, other
+}
+
+func TestLRCCountsAndDecrement(t *testing.T) {
+	g, data, other := lrcGraph()
+	f := NewLRC(g)
+	n := f.NewNodePolicy(0)
+	n.OnAdd(data.Block(0))
+	n.OnAdd(other.Block(0))
+
+	f.OnStageStart(1, 1)
+	// The stage-1 reference is consumed: data has reads at stages 2
+	// and 3 remaining (2); other at stage 2 (1).
+	v, ok := n.Victim(all)
+	if !ok || v != other.Block(0) {
+		t.Errorf("victim = %v, want other (lower count)", v)
+	}
+
+	f.OnStageStart(2, 2)
+	// data has 1 remaining (stage 3); other 0: other is dead, evicted
+	// first.
+	v, _ = n.Victim(all)
+	if v != other.Block(0) {
+		t.Errorf("victim = %v, want dead other", v)
+	}
+	n.OnRemove(other.Block(0))
+	v, ok = n.Victim(all)
+	if !ok || v != data.Block(0) {
+		t.Errorf("victim = %v, want data", v)
+	}
+}
+
+func TestLRCTieBreaksByRecency(t *testing.T) {
+	g := dag.New()
+	src := g.Source("in", 2, 1<<20)
+	a := src.Map("a").Cache()
+	b := src.Map("b").Cache()
+	g.Count(a.ZipPartitions("ab", b))  // creates both
+	g.Count(a.ZipPartitions("use", b)) // one read each: equal counts
+	f := NewLRC(g)
+	n := f.NewNodePolicy(0)
+	n.OnAdd(a.Block(0))
+	n.OnAdd(b.Block(0))
+	n.OnAccess(a.Block(0)) // b is now least recent
+	f.OnStageStart(0, 0)   // both reads (stage 1) still ahead: tie
+	v, _ := n.Victim(all)
+	if v != b.Block(0) {
+		t.Errorf("tie victim = %v, want least-recently-used b", v)
+	}
+}
+
+func TestLRCAdHocLearnsPerJob(t *testing.T) {
+	g, data, _ := lrcGraph()
+	f := NewLRCAdHoc()
+	n := f.NewNodePolicy(0)
+	n.OnAdd(data.Block(0))
+
+	// No jobs submitted: everything counts zero.
+	if c := f.remaining(data.Block(0)); c != 0 {
+		t.Errorf("count before any job = %d", c)
+	}
+	for _, j := range g.Jobs {
+		f.OnJobSubmit(j)
+	}
+	f.OnStageStart(1, 1)
+	if c := f.remaining(data.Block(0)); c != 2 {
+		t.Errorf("count after all jobs = %d, want 2 (stage-1 ref consumed)", c)
+	}
+}
+
+func TestLRCRecurringSeesWholeDAGUpFront(t *testing.T) {
+	g, data, _ := lrcGraph()
+	f := NewLRC(g)
+	// Before any stage starts (curStage 0 = the creation stage), all
+	// three reads lie ahead.
+	if c := f.remaining(data.Block(0)); c != 3 {
+		t.Errorf("recurring initial count = %d, want 3", c)
+	}
+	// OnJobSubmit must not double-count in recurring mode.
+	f.OnJobSubmit(g.Jobs[0])
+	if c := f.remaining(data.Block(0)); c != 3 {
+		t.Errorf("count after job submit = %d, want 3", c)
+	}
+}
+
+func TestLRCVictimNoneEvictable(t *testing.T) {
+	g, data, _ := lrcGraph()
+	f := NewLRC(g)
+	n := f.NewNodePolicy(0)
+	n.OnAdd(data.Block(0))
+	if _, ok := n.Victim(func(block.ID) bool { return false }); ok {
+		t.Error("victim with nothing evictable")
+	}
+}

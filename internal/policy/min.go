@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"mrdspark/internal/block"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/refdist"
+)
+
+// MIN is Belady's optimal replacement oracle (paper §3.1): evict the
+// block whose next use lies furthest in the future, with full knowledge
+// of the access schedule. At the paper's stage granularity this is the
+// upper bound MRD's eviction side approximates; it exists here as a
+// sanity bound for tests and an ablation reference, never as a
+// deployable policy.
+type MIN struct {
+	profile  *refdist.Profile
+	curStage int
+}
+
+// NewMIN returns the clairvoyant factory over the complete application
+// profile (the oracle sees the whole DAG regardless of how the run is
+// configured).
+func NewMIN(g *dag.Graph) *MIN {
+	return &MIN{profile: refdist.FromGraph(g)}
+}
+
+// Name implements Factory.
+func (m *MIN) Name() string { return "MIN" }
+
+// OnStageStart implements StageObserver.
+func (m *MIN) OnStageStart(stageID, _ int) { m.curStage = stageID }
+
+// NewNodePolicy implements Factory.
+func (m *MIN) NewNodePolicy(int) Policy {
+	return &minNode{shared: m, resident: map[block.ID]bool{}}
+}
+
+type minNode struct {
+	shared   *MIN
+	resident map[block.ID]bool
+}
+
+func (n *minNode) OnAdd(id block.ID)    { n.resident[id] = true }
+func (n *minNode) OnAccess(block.ID)    {}
+func (n *minNode) OnRemove(id block.ID) { delete(n.resident, id) }
+
+// key orders blocks by next use: never-used-again blocks sort after
+// everything, then by stage distance, then by partition index within
+// the stage (tasks touch partitions in roughly ascending order).
+func (n *minNode) key(id block.ID) (int, int) {
+	d := n.shared.profile.StageDistanceConsumed(id.RDD, n.shared.curStage)
+	if refdist.IsInfinite(d) {
+		return int(^uint(0) >> 1), id.Partition
+	}
+	return d, id.Partition
+}
+
+func (n *minNode) Victim(evictable func(block.ID) bool) (block.ID, bool) {
+	best, found := block.ID{}, false
+	bestD, bestP := -1, -1
+	for id := range n.resident {
+		if !evictable(id) {
+			continue
+		}
+		d, p := n.key(id)
+		switch {
+		case !found, d > bestD, d == bestD && p > bestP,
+			d == bestD && p == bestP && best.Less(id):
+			best, bestD, bestP, found = id, d, p, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,75 @@
+package policy
+
+import (
+	"testing"
+
+	"mrdspark/internal/dag"
+)
+
+// minGraph: near read at stages 1 and 2, far read at stage 3, dead
+// after creation.
+func minGraph() (*dag.Graph, *dag.RDD, *dag.RDD, *dag.RDD) {
+	g := dag.New()
+	src := g.Source("in", 2, 1<<20)
+	near := src.Map("near").Cache()
+	far := src.Map("far").Cache()
+	dead := src.Map("dead").Cache()
+	g.Count(near.ZipPartitions("all", far).ZipPartitions("all2", dead)) // stage 0
+	g.Count(near.Map("u1"))                                             // stage 1
+	g.Count(near.Map("u1b"))                                            // stage 2
+	g.Count(far.Map("u2"))                                              // stage 3
+	return g, near, far, dead
+}
+
+func TestMINEvictsFurthestUse(t *testing.T) {
+	g, near, far, dead := minGraph()
+	f := NewMIN(g)
+	n := f.NewNodePolicy(0)
+	n.OnAdd(near.Block(0))
+	n.OnAdd(far.Block(0))
+	n.OnAdd(dead.Block(0))
+
+	f.OnStageStart(1, 1)
+	v, ok := n.Victim(all)
+	if !ok || v != dead.Block(0) {
+		t.Errorf("victim = %v, want never-used-again dead", v)
+	}
+	n.OnRemove(dead.Block(0))
+	v, _ = n.Victim(all)
+	if v != far.Block(0) {
+		t.Errorf("victim = %v, want furthest-use far", v)
+	}
+	n.OnRemove(far.Block(0))
+	v, _ = n.Victim(all)
+	if v != near.Block(0) {
+		t.Errorf("victim = %v, want near as last resort", v)
+	}
+}
+
+func TestMINBreaksTiesByPartition(t *testing.T) {
+	g, near, _, _ := minGraph()
+	f := NewMIN(g)
+	n := f.NewNodePolicy(0)
+	n.OnAdd(near.Block(0))
+	n.OnAdd(near.Block(1))
+	f.OnStageStart(1, 1)
+	v, _ := n.Victim(all)
+	if v != near.Block(1) {
+		t.Errorf("tie victim = %v, want the higher partition (touched later in the stage)", v)
+	}
+}
+
+func TestMINIgnoresConfiguredBlindness(t *testing.T) {
+	// MIN is an oracle: it sees the full schedule regardless of how
+	// far execution has progressed.
+	g, near, far, _ := minGraph()
+	f := NewMIN(g)
+	f.OnStageStart(2, 3)
+	n := f.NewNodePolicy(0)
+	n.OnAdd(near.Block(0)) // its stage-2 read is being consumed: dead next
+	n.OnAdd(far.Block(0))  // read at stage 3: live
+	v, ok := n.Victim(all)
+	if !ok || v != near.Block(0) {
+		t.Errorf("victim = %v, want consumed near", v)
+	}
+}

@@ -1,0 +1,170 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrdspark/internal/block"
+)
+
+func bid(rdd, part int) block.ID { return block.ID{RDD: rdd, Partition: part} }
+
+func all(block.ID) bool { return true }
+
+func TestLRUVictimIsLeastRecentlyUsed(t *testing.T) {
+	n := NewLRU().NewNodePolicy(0)
+	n.OnAdd(bid(1, 0))
+	n.OnAdd(bid(2, 0))
+	n.OnAdd(bid(3, 0))
+	n.OnAccess(bid(1, 0)) // order now: 1, 3, 2 (MRU..LRU: 1,3,2)
+
+	v, ok := n.Victim(all)
+	if !ok || v != bid(2, 0) {
+		t.Errorf("victim = %v, want rdd_2_0", v)
+	}
+	n.OnRemove(v)
+	v, ok = n.Victim(all)
+	if !ok || v != bid(3, 0) {
+		t.Errorf("second victim = %v, want rdd_3_0", v)
+	}
+}
+
+func TestLRUVictimRespectsFilter(t *testing.T) {
+	n := NewLRU().NewNodePolicy(0)
+	n.OnAdd(bid(1, 0))
+	n.OnAdd(bid(2, 0))
+	v, ok := n.Victim(func(id block.ID) bool { return id != bid(1, 0) })
+	if !ok || v != bid(2, 0) {
+		t.Errorf("victim = %v, want rdd_2_0", v)
+	}
+	if _, ok := n.Victim(func(block.ID) bool { return false }); ok {
+		t.Error("victim found with nothing evictable")
+	}
+}
+
+func TestLRUEmptyStore(t *testing.T) {
+	n := NewLRU().NewNodePolicy(0)
+	if _, ok := n.Victim(all); ok {
+		t.Error("victim from empty policy")
+	}
+}
+
+func TestFIFOIgnoresAccesses(t *testing.T) {
+	n := NewFIFO().NewNodePolicy(0)
+	n.OnAdd(bid(1, 0))
+	n.OnAdd(bid(2, 0))
+	n.OnAccess(bid(1, 0)) // must not rescue 1
+	v, ok := n.Victim(all)
+	if !ok || v != bid(1, 0) {
+		t.Errorf("FIFO victim = %v, want rdd_1_0 (insertion order)", v)
+	}
+}
+
+func TestLFUVictimLowestCountThenLRU(t *testing.T) {
+	n := NewLFU().NewNodePolicy(0)
+	n.OnAdd(bid(1, 0))
+	n.OnAdd(bid(2, 0))
+	n.OnAdd(bid(3, 0))
+	n.OnAccess(bid(1, 0))
+	n.OnAccess(bid(1, 0))
+	n.OnAccess(bid(2, 0))
+	// counts: 1->2, 2->1, 3->0
+	v, ok := n.Victim(all)
+	if !ok || v != bid(3, 0) {
+		t.Errorf("LFU victim = %v, want rdd_3_0", v)
+	}
+	n.OnRemove(bid(3, 0))
+	v, _ = n.Victim(all)
+	if v != bid(2, 0) {
+		t.Errorf("next LFU victim = %v, want rdd_2_0", v)
+	}
+	// Tie: equal counts fall back to least-recent.
+	n.OnAccess(bid(2, 0)) // counts now 1->2, 2->2
+	v, _ = n.Victim(all)
+	if v != bid(1, 0) {
+		t.Errorf("LFU tie victim = %v, want least-recently-used rdd_1_0", v)
+	}
+}
+
+// referenceLRU is an oracle implementation against which the list-based
+// LRU is property-tested: victim = minimum last-access time.
+type referenceLRU struct {
+	clock int
+	last  map[block.ID]int
+}
+
+func (r *referenceLRU) touch(id block.ID) {
+	r.clock++
+	r.last[id] = r.clock
+}
+
+func (r *referenceLRU) victim(evictable func(block.ID) bool) (block.ID, bool) {
+	best, bestT, found := block.ID{}, 0, false
+	for id, tm := range r.last {
+		if !evictable(id) {
+			continue
+		}
+		if !found || tm < bestT {
+			best, bestT, found = id, tm, true
+		}
+	}
+	return best, found
+}
+
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := NewLRU().NewNodePolicy(0)
+		ref := &referenceLRU{last: map[block.ID]int{}}
+		resident := map[block.ID]bool{}
+		for op := 0; op < 300; op++ {
+			id := bid(rng.Intn(5), rng.Intn(4))
+			switch rng.Intn(4) {
+			case 0, 1: // add or re-add
+				if !resident[id] {
+					n.OnAdd(id)
+					ref.touch(id)
+					resident[id] = true
+				}
+			case 2:
+				if resident[id] {
+					n.OnAccess(id)
+					ref.touch(id)
+				}
+			case 3:
+				if resident[id] && rng.Intn(2) == 0 {
+					n.OnRemove(id)
+					delete(ref.last, id)
+					delete(resident, id)
+				}
+			}
+			got, gok := n.Victim(all)
+			want, wok := ref.victim(all)
+			if gok != wok || (gok && got != want) {
+				t.Fatalf("trial %d op %d: victim = %v/%v, want %v/%v", trial, op, got, gok, want, wok)
+			}
+		}
+	}
+}
+
+func TestFactoriesMintIndependentNodes(t *testing.T) {
+	f := NewLRU()
+	a, b := f.NewNodePolicy(0), f.NewNodePolicy(1)
+	a.OnAdd(bid(1, 0))
+	if _, ok := b.Victim(all); ok {
+		t.Error("node policies share state")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, tt := range []struct {
+		f    Factory
+		want string
+	}{
+		{NewLRU(), "LRU"}, {NewFIFO(), "FIFO"}, {NewLFU(), "LFU"},
+	} {
+		if got := tt.f.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"container/list"
+
+	"mrdspark/internal/block"
+)
+
+// recencyList is an intrusive LRU ordering shared by several policies:
+// front = most recently used, back = least recently used.
+type recencyList struct {
+	order *list.List
+	elem  map[block.ID]*list.Element
+}
+
+func newRecencyList() *recencyList {
+	return &recencyList{order: list.New(), elem: map[block.ID]*list.Element{}}
+}
+
+// touch moves the block to the most-recently-used position, inserting
+// it if absent.
+func (l *recencyList) touch(id block.ID) {
+	if e, ok := l.elem[id]; ok {
+		l.order.MoveToFront(e)
+		return
+	}
+	l.elem[id] = l.order.PushFront(id)
+}
+
+// remove drops the block from the ordering.
+func (l *recencyList) remove(id block.ID) {
+	if e, ok := l.elem[id]; ok {
+		l.order.Remove(e)
+		delete(l.elem, id)
+	}
+}
+
+// contains reports whether the block is tracked.
+func (l *recencyList) contains(id block.ID) bool {
+	_, ok := l.elem[id]
+	return ok
+}
+
+// len returns the number of tracked blocks.
+func (l *recencyList) len() int { return l.order.Len() }
+
+// lruVictim returns the least-recently-used block accepted by the
+// filter.
+func (l *recencyList) lruVictim(evictable func(block.ID) bool) (block.ID, bool) {
+	for e := l.order.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(block.ID)
+		if evictable(id) {
+			return id, true
+		}
+	}
+	return block.ID{}, false
+}

@@ -1,0 +1,156 @@
+// Package profile persists the reference-distance profiles of
+// recurring applications between runs (paper §4.1): after a first
+// ad-hoc run, the AppProfiler's observed profile is saved under the
+// application's identity; later runs load it and start with the whole
+// application DAG visible. Interrupted first runs resume: the stored
+// partial profile is extended on the next run (§4.4).
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mrdspark/internal/refdist"
+)
+
+// Entry is one stored application profile.
+type Entry struct {
+	// App identifies the recurring application (workload name plus
+	// any parameters that change its DAG).
+	App string `json:"app"`
+	// Runs counts how many times the application has been profiled.
+	Runs int `json:"runs"`
+	// Complete marks profiles from runs that finished; incomplete
+	// profiles are resumed rather than trusted as whole-DAG views.
+	Complete bool `json:"complete"`
+	// Discrepancies accumulates how often stored and observed
+	// profiles disagreed (stale profile detection).
+	Discrepancies int          `json:"discrepancies"`
+	Profile       refdist.Data `json:"profile"`
+}
+
+// Store is a directory of JSON profile entries, one file per
+// application.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a profile store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile: creating store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (s *Store) path(app string) string {
+	// Sanitize the app name into a file name.
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, app)
+	return filepath.Join(s.dir, clean+".json")
+}
+
+// Load returns the stored entry for the application, with ok=false
+// when the application has never been profiled.
+func (s *Store) Load(app string) (Entry, bool, error) {
+	data, err := os.ReadFile(s.path(app))
+	if os.IsNotExist(err) {
+		return Entry{}, false, nil
+	}
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("profile: loading %q: %w", app, err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, false, fmt.Errorf("profile: decoding %q: %w", app, err)
+	}
+	if e.App != app {
+		return Entry{}, false, fmt.Errorf("profile: entry %q holds app %q", app, e.App)
+	}
+	return e, true, nil
+}
+
+// Save writes the observed profile for the application, merging run
+// counters with any existing entry. complete marks whether the run
+// finished; an incomplete save over a complete entry is ignored (the
+// complete profile is strictly better).
+func (s *Store) Save(app string, p *refdist.Profile, complete bool, discrepancies int) (Entry, error) {
+	prev, ok, err := s.Load(app)
+	if err != nil {
+		return Entry{}, err
+	}
+	e := Entry{App: app, Runs: 1, Complete: complete, Discrepancies: discrepancies, Profile: p.Data()}
+	if ok {
+		e.Runs = prev.Runs + 1
+		e.Discrepancies += prev.Discrepancies
+		if prev.Complete && !complete {
+			// A complete stored profile beats a partial observation;
+			// keep it and only bump the counters.
+			e.Profile = prev.Profile
+			e.Complete = true
+		}
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return Entry{}, fmt.Errorf("profile: encoding %q: %w", app, err)
+	}
+	tmp := s.path(app) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return Entry{}, fmt.Errorf("profile: writing %q: %w", app, err)
+	}
+	if err := os.Rename(tmp, s.path(app)); err != nil {
+		return Entry{}, fmt.Errorf("profile: committing %q: %w", app, err)
+	}
+	return e, nil
+}
+
+// Delete removes the application's stored profile (no error if
+// absent).
+func (s *Store) Delete(app string) error {
+	err := os.Remove(s.path(app))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Apps lists the stored application names.
+func (s *Store) Apps() ([]string, error) {
+	glob, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]string, 0, len(glob))
+	for _, f := range glob {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			continue // skip corrupt entries rather than failing the listing
+		}
+		apps = append(apps, e.App)
+	}
+	return apps, nil
+}
+
+// LoadProfile is the common fast path: the stored reference-distance
+// profile of a complete prior run, or ok=false when the application
+// must run ad-hoc.
+func (s *Store) LoadProfile(app string) (*refdist.Profile, bool, error) {
+	e, ok, err := s.Load(app)
+	if err != nil || !ok || !e.Complete {
+		return nil, false, err
+	}
+	return refdist.FromData(e.Profile), true, nil
+}

@@ -1,0 +1,158 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrdspark/internal/dag"
+	"mrdspark/internal/refdist"
+)
+
+func sampleProfile(reads int) *refdist.Profile {
+	g := dag.New()
+	data := g.Source("in", 2, 1<<20).Map("m").Cache()
+	g.Count(data)
+	for i := 0; i < reads; i++ {
+		g.Count(data.Map("u"))
+	}
+	return refdist.FromGraph(g)
+}
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadMissing(t *testing.T) {
+	s := newTestStore(t)
+	if _, ok, err := s.Load("nope"); ok || err != nil {
+		t.Errorf("Load missing = ok:%v err:%v", ok, err)
+	}
+	if _, ok, err := s.LoadProfile("nope"); ok || err != nil {
+		t.Errorf("LoadProfile missing = ok:%v err:%v", ok, err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	p := sampleProfile(3)
+	if _, err := s.Save("KM-run", p, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.LoadProfile("KM-run")
+	if err != nil || !ok {
+		t.Fatalf("LoadProfile = ok:%v err:%v", ok, err)
+	}
+	if !got.Equal(p) {
+		t.Error("profile changed across persistence")
+	}
+	e, ok, _ := s.Load("KM-run")
+	if !ok || e.Runs != 1 || !e.Complete {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestIncompleteProfileNotServedAsRecurring(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.Save("app", sampleProfile(1), false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.LoadProfile("app"); ok {
+		t.Error("incomplete profile served as a whole-DAG view")
+	}
+	// But the entry itself is there for resuming.
+	if _, ok, _ := s.Load("app"); !ok {
+		t.Error("incomplete entry lost")
+	}
+}
+
+func TestCompleteBeatsLaterPartial(t *testing.T) {
+	s := newTestStore(t)
+	full := sampleProfile(3)
+	s.Save("app", full, true, 0)
+	s.Save("app", sampleProfile(1), false, 1) // later partial run
+	got, ok, err := s.LoadProfile("app")
+	if err != nil || !ok {
+		t.Fatalf("complete profile lost: ok:%v err:%v", ok, err)
+	}
+	if !got.Equal(full) {
+		t.Error("partial save overwrote the complete profile")
+	}
+	e, _, _ := s.Load("app")
+	if e.Runs != 2 || e.Discrepancies != 1 {
+		t.Errorf("counters = %+v", e)
+	}
+}
+
+func TestResumeUpgradesPartial(t *testing.T) {
+	s := newTestStore(t)
+	s.Save("app", sampleProfile(1), false, 0)
+	full := sampleProfile(3)
+	s.Save("app", full, true, 0)
+	got, ok, _ := s.LoadProfile("app")
+	if !ok || !got.Equal(full) {
+		t.Error("complete rerun did not upgrade the stored profile")
+	}
+}
+
+func TestAppsAndDelete(t *testing.T) {
+	s := newTestStore(t)
+	s.Save("a", sampleProfile(1), true, 0)
+	s.Save("b", sampleProfile(2), true, 0)
+	apps, err := s.Apps()
+	if err != nil || len(apps) != 2 {
+		t.Fatalf("Apps = %v, %v", apps, err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Errorf("double delete errored: %v", err)
+	}
+	apps, _ = s.Apps()
+	if len(apps) != 1 || apps[0] != "b" {
+		t.Errorf("Apps after delete = %v", apps)
+	}
+}
+
+func TestAppNameSanitization(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.Save("KM ../../../evil name", sampleProfile(1), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.LoadProfile("KM ../../../evil name")
+	if err != nil || !ok || got == nil {
+		t.Errorf("sanitized round trip failed: ok:%v err:%v", ok, err)
+	}
+}
+
+func TestCorruptEntrySkippedInListing(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	s.Save("good", sampleProfile(1), true, 0)
+	os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{not json"), 0o644)
+	apps, err := s.Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 || apps[0] != "good" {
+		t.Errorf("Apps with corruption = %v", apps)
+	}
+}
+
+func TestWrongAppInEntryRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	s.Save("alpha", sampleProfile(1), true, 0)
+	// Copy alpha's file over beta's slot.
+	data, _ := os.ReadFile(filepath.Join(dir, "alpha.json"))
+	os.WriteFile(filepath.Join(dir, "beta.json"), data, 0o644)
+	if _, _, err := s.Load("beta"); err == nil {
+		t.Error("mismatched entry accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/core"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/policy"
+	"mrdspark/internal/refdist"
+)
+
+// randomApp builds a random but well-formed application: a source, a
+// mix of narrow/wide transforms, some cached (MEMORY_AND_DISK so every
+// read resolves to a hit or a promote), actions sprinkled through.
+func randomApp(rng *rand.Rand) *dag.Graph {
+	g := dag.New()
+	rdds := []*dag.RDD{g.Source("in", 2+rng.Intn(4), int64(1+rng.Intn(8))<<10, dag.WithCost(10))}
+	steps := 4 + rng.Intn(14)
+	actions := 0
+	for i := 0; i < steps; i++ {
+		p := rdds[rng.Intn(len(rdds))]
+		var r *dag.RDD
+		switch rng.Intn(5) {
+		case 0:
+			r = p.Map(fmt.Sprintf("m%d", i), dag.WithCost(10))
+		case 1:
+			r = p.Filter(fmt.Sprintf("f%d", i), dag.WithSizeFactor(0.7), dag.WithCost(10))
+		case 2:
+			r = p.ReduceByKey(fmt.Sprintf("r%d", i), dag.WithCost(10))
+		case 3:
+			q := rdds[rng.Intn(len(rdds))]
+			r = p.Union(fmt.Sprintf("u%d", i), q)
+		case 4:
+			r = p.GroupByKey(fmt.Sprintf("g%d", i), dag.WithSizeFactor(0.8), dag.WithCost(10))
+		}
+		if rng.Intn(3) == 0 {
+			r.Persist(block.MemoryAndDisk)
+		}
+		rdds = append(rdds, r)
+		if rng.Intn(3) == 0 {
+			g.Count(r)
+			actions++
+		}
+	}
+	if actions == 0 {
+		g.Count(rdds[len(rdds)-1])
+	}
+	return g
+}
+
+func allFactories(g *dag.Graph) map[string]policy.Factory {
+	return map[string]policy.Factory{
+		"LRU":        policy.NewLRU(),
+		"FIFO":       policy.NewFIFO(),
+		"LFU":        policy.NewLFU(),
+		"Hyperbolic": policy.NewHyperbolic(),
+		"GDS":        policy.NewGDS(),
+		"LRC":        policy.NewLRC(g),
+		"MemTune":    policy.NewMemTune(g),
+		"MIN":        policy.NewMIN(g),
+		"MRD": core.NewManager(g,
+			core.NewRecurringProfiler(refdist.FromGraph(g)), core.Options{}),
+		"MRD-adhoc": core.NewManager(g, core.NewAppProfiler(), core.Options{}),
+	}
+}
+
+// TestCrossPolicyInvariants runs random applications under every
+// policy and checks the laws that must hold regardless of eviction
+// decisions:
+//
+//   - the run completes with the DAG's job/stage counts;
+//   - hits + misses is identical across policies (the demand read
+//     schedule is policy-independent when all blocks are restorable);
+//   - with MEMORY_AND_DISK caching there are no recomputes;
+//   - prefetch accounting never over-counts.
+func TestCrossPolicyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		seed := rng.Int63()
+		cl := tinyCluster(int64(2+rng.Intn(6)) << 10)
+		var wantReads int64 = -1
+		var wantJobs, wantStages int
+
+		mk := func() *dag.Graph { return randomApp(rand.New(rand.NewSource(seed))) }
+		for name, f := range allFactories(mk()) {
+			g := mk() // fresh graph per run (factories bind to their own)
+			factory := f
+			if name == "LRC" || name == "MemTune" || name == "MIN" ||
+				name == "MRD" || name == "MRD-adhoc" {
+				// DAG-bound factories must be rebuilt against the
+				// graph instance they run on.
+				factory = allFactories(g)[name]
+			}
+			run, err := Run(g, cl, factory, "rand")
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if wantReads < 0 {
+				wantReads = run.Hits + run.Misses
+				wantJobs, wantStages = run.Jobs, run.StagesExecuted
+			}
+			if got := run.Hits + run.Misses; got != wantReads {
+				t.Errorf("trial %d %s: reads = %d, other policies saw %d", trial, name, got, wantReads)
+			}
+			if run.Jobs != wantJobs || run.StagesExecuted != wantStages {
+				t.Errorf("trial %d %s: workflow %d/%d, want %d/%d",
+					trial, name, run.Jobs, run.StagesExecuted, wantJobs, wantStages)
+			}
+			if run.Recomputes != 0 {
+				t.Errorf("trial %d %s: %d recomputes with restorable blocks", trial, name, run.Recomputes)
+			}
+			if run.PrefetchUsed+run.PrefetchWasted > run.PrefetchIssued {
+				t.Errorf("trial %d %s: prefetch accounting broken: %d+%d > %d",
+					trial, name, run.PrefetchUsed, run.PrefetchWasted, run.PrefetchIssued)
+			}
+			if run.JCT <= 0 || run.JCT > run.WallTime {
+				t.Errorf("trial %d %s: time accounting broken: JCT=%d wall=%d",
+					trial, name, run.JCT, run.WallTime)
+			}
+		}
+	}
+}
+
+// TestOraclesDominateOnRandomApps: across random apps, the informed
+// policies should not lose badly to uninformed ones on hit ratio in
+// aggregate. Individual apps may favour anyone; the sum may not.
+func TestOraclesDominateOnRandomApps(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	var minHits, lruHits, mrdHits float64
+	for trial := 0; trial < 40; trial++ {
+		seed := rng.Int63()
+		cl := tinyCluster(int64(2+rng.Intn(4)) << 10)
+		mk := func() *dag.Graph { return randomApp(rand.New(rand.NewSource(seed))) }
+
+		g1 := mk()
+		lru, err := Run(g1, cl, policy.NewLRU(), "rand")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2 := mk()
+		min, err := Run(g2, cl, policy.NewMIN(g2), "rand")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g3 := mk()
+		mrd, err := Run(g3, cl, mrdFactory(g3, core.Options{DisablePrefetch: true}), "rand")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lruHits += lru.HitRatio()
+		minHits += min.HitRatio()
+		mrdHits += mrd.HitRatio()
+	}
+	if minHits < lruHits-0.5 {
+		t.Errorf("MIN aggregate hits %.2f well below LRU %.2f", minHits, lruHits)
+	}
+	if mrdHits < lruHits-0.5 {
+		t.Errorf("MRD aggregate hits %.2f well below LRU %.2f", mrdHits, lruHits)
+	}
+}
+
+// TestAuditAfterRandomRuns: the post-run consistency audit passes for
+// every policy on random applications.
+func TestAuditAfterRandomRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		seed := rng.Int63()
+		cl := tinyCluster(int64(2+rng.Intn(5)) << 10)
+		g := randomApp(rand.New(rand.NewSource(seed)))
+		for name, f := range allFactories(g) {
+			// DAG-bound factories are already bound to g here.
+			s, err := New(g, cl, f, "audit")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run()
+			if err := s.Audit(); err != nil {
+				t.Errorf("trial %d %s: %v", trial, name, err)
+			}
+			break // one policy per graph instance; factories bind to g
+		}
+		// And explicitly audit an MRD run with prefetching.
+		g2 := randomApp(rand.New(rand.NewSource(seed)))
+		s, err := New(g2, cl, mrdFactory(g2, core.Options{}), "audit-mrd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		if err := s.Audit(); err != nil {
+			t.Errorf("trial %d MRD: %v", trial, err)
+		}
+	}
+}
+
+func TestAuditBeforeRunErrors(t *testing.T) {
+	g, _ := cachedReuseGraph(block.MemoryAndDisk)
+	s, err := New(g, tinyCluster(1<<20), policy.NewLRU(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Audit(); err == nil {
+		t.Error("Audit before Run did not error")
+	}
+}

@@ -1,0 +1,76 @@
+// Package sim is a deterministic discrete-event simulator of a Spark
+// cluster executing an application DAG: per-node CPU task slots, disk
+// and NIC queues with demand/background priorities, stage-by-stage
+// scheduling with data locality, shuffle I/O, and the cache
+// interactions (hits, misses, promotes, recomputes, evictions,
+// prefetches) the cache-management policies compete on.
+package sim
+
+import "container/heap"
+
+// Engine is a minimal deterministic discrete-event loop. Events fire
+// in timestamp order; ties break in scheduling order, which keeps runs
+// reproducible bit for bit.
+type Engine struct {
+	now    int64 // microseconds of simulated time
+	nextID int64
+	queue  eventHeap
+}
+
+type event struct {
+	at  int64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in microseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn at absolute time t (clamped to now: the past is not
+// rewritable).
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.queue, event{at: t, seq: e.nextID, fn: fn})
+	e.nextID++
+}
+
+// After schedules fn d microseconds from now.
+func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
+
+// Run processes events until the queue drains, returning the final
+// simulated time.
+func (e *Engine) Run() int64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events (test helper).
+func (e *Engine) Pending() int { return e.queue.Len() }

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"mrdspark/internal/block"
+	"mrdspark/internal/policy"
+)
+
+// clusterOps is the policy.ClusterOps control surface over a running
+// simulation — the channel through which the MRDmanager (and MemTune)
+// issue purge orders and prefetch requests to the worker nodes.
+type clusterOps struct {
+	s *Simulation
+}
+
+var _ policy.ClusterOps = clusterOps{}
+
+func (o clusterOps) NumNodes() int { return len(o.s.nodes) }
+
+func (o clusterOps) HomeNode(id block.ID) int { return id.Partition % len(o.s.nodes) }
+
+func (o clusterOps) Resident(node int, id block.ID) bool {
+	return o.s.nodes[node].mem.Contains(id)
+}
+
+func (o clusterOps) OnDisk(node int, id block.ID) bool {
+	return o.s.nodes[node].disk.Has(id)
+}
+
+func (o clusterOps) FreeBytes(node int) int64 { return o.s.nodes[node].mem.Free() }
+
+func (o clusterOps) PrefetchOutcomes() (used, wasted int64) {
+	return o.s.run.PrefetchUsed, o.s.run.PrefetchWasted
+}
+
+func (o clusterOps) CapacityBytes(node int) int64 { return o.s.nodes[node].mem.Capacity() }
+
+// Evict implements the manager-initiated proactive eviction (purge).
+func (o clusterOps) Evict(node int, id block.ID) bool {
+	s := o.s
+	if !s.nodes[node].mem.Remove(id) {
+		return false
+	}
+	s.run.PurgedBlocks++
+	s.traceEvent("purge", node, id)
+	if s.prefetched[id] {
+		s.run.PrefetchWasted++
+		delete(s.prefetched, id)
+	}
+	return true
+}
+
+// Prefetch loads the block from the node's local disk at background
+// priority and inserts it into memory on arrival, evicting via the
+// node's policy if space is needed then.
+func (o clusterOps) Prefetch(node int, info block.Info) {
+	s := o.s
+	n := s.nodes[node]
+	if n.mem.Contains(info.ID) || s.inFlight[info.ID] || !n.disk.Has(info.ID) {
+		return
+	}
+	s.inFlight[info.ID] = true
+	s.run.PrefetchIssued++
+	s.traceEvent("prefetch-issue", node, info.ID)
+	n.diskDev.Transfer(info.Size, Background, func() {
+		delete(s.inFlight, info.ID)
+		s.run.DiskReadBytes += info.Size
+		s.traceEvent("prefetch-arrive", node, info.ID)
+		if n.mem.Contains(info.ID) {
+			return
+		}
+		// Arbitrated policies (the MRD CacheMonitor) veto arrivals
+		// whose evictions would displace blocks at least as urgent as
+		// the incoming one; other policies take the paper's fully
+		// aggressive path.
+		var evicted []block.Info
+		var ok bool
+		if arb, isArb := n.pol.(policy.PrefetchArbiter); isArb {
+			evicted, ok = n.mem.PutGuarded(info, func(victim block.ID) bool {
+				return arb.AllowPrefetchEviction(info, victim)
+			})
+		} else {
+			evicted, ok = n.mem.Put(info)
+		}
+		s.noteEvictions(evicted)
+		s.notePeak()
+		if ok {
+			s.prefetched[info.ID] = true
+		}
+	})
+}

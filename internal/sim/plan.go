@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"mrdspark/internal/block"
+	"mrdspark/internal/dag"
+)
+
+// planStage turns a stage into per-task work units. Planning resolves
+// every cached-RDD read the stage performs against the current cache
+// state (hit, promote-from-disk, or recompute-from-lineage), charges
+// the resulting I/O and compute to the task that reads each block, and
+// schedules the cache inserts the tasks will perform when they finish.
+//
+// Block placement: partition q of any RDD lives on node q mod N (tasks
+// are placed the same way, so creation is always local). A stage whose
+// task count differs from a read RDD's partition count reads some
+// blocks remotely; remote reads are charged to the reader's NIC.
+func (s *Simulation) planStage(st *dag.Stage) []taskWork {
+	works := make([]taskWork, st.NumTasks)
+	ctx := &planCtx{sim: s, works: works, numTasks: st.NumTasks}
+
+	// Resolve the stage's read frontier: the nearest materialized
+	// cached RDD on each narrow path from the target.
+	reads, _ := dag.StageFrontier(st, func(id int) bool { return s.created[id] })
+	for _, r := range reads {
+		for q := 0; q < r.NumPartitions; q++ {
+			ctx.resolveBlock(r, q)
+		}
+	}
+
+	// The pipelined chain each task computes: walk from the target
+	// down to read boundaries.
+	members := chainMembers(st.Target, s.created)
+	var computeUs, srcBytes, shufLocal, shufRemote int64
+	var creations []*dag.RDD
+	for _, m := range members {
+		computeUs += m.CostPerPart
+		if m.IsSource() {
+			srcBytes += m.PartSize
+		}
+		for _, d := range m.Deps {
+			if d.Type != dag.Shuffle {
+				continue
+			}
+			per := d.Parent.Size() / int64(st.NumTasks)
+			n := int64(len(s.nodes))
+			shufRemote += per * (n - 1) / n
+			shufLocal += per - per*(n-1)/n
+		}
+		if m.Cached && !s.created[m.ID] {
+			creations = append(creations, m)
+		}
+	}
+	s.run.StageInputBytes += (srcBytes + shufLocal + shufRemote) * int64(st.NumTasks)
+	s.run.ShuffleReadBytes += (shufLocal + shufRemote) * int64(st.NumTasks)
+	for p := range works {
+		w := &works[p]
+		w.computeUs += computeUs
+		w.diskBytes += srcBytes + shufLocal
+		w.netBytes += shufRemote
+		if st.Kind == dag.ShuffleMap {
+			w.shuffleWrite = st.Target.PartSize
+			s.run.ShuffleWriteBytes += w.shuffleWrite
+		}
+		for _, m := range creations {
+			q := p % m.NumPartitions
+			w.inserts = append(w.inserts, insert{node: q % len(s.nodes), info: m.BlockInfo(q)})
+		}
+	}
+	// Mark chain creations materialized: from the next stage on they
+	// are read boundaries.
+	for _, m := range creations {
+		s.created[m.ID] = true
+	}
+	return works
+}
+
+// chainMembers walks target's narrow ancestry, stopping at cached RDDs
+// that are already materialized (read boundaries). If the target
+// itself is such a boundary the stage computes nothing — e.g. a second
+// action over a fully cached RDD.
+func chainMembers(target *dag.RDD, created map[int]bool) []*dag.RDD {
+	if target.Cached && created[target.ID] {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []*dag.RDD
+	var walk func(r *dag.RDD)
+	walk = func(r *dag.RDD) {
+		if seen[r.ID] {
+			return
+		}
+		seen[r.ID] = true
+		out = append(out, r)
+		for _, d := range r.Deps {
+			if d.Type != dag.Narrow {
+				continue
+			}
+			if d.Parent.Cached && created[d.Parent.ID] {
+				continue // read boundary, resolved per block
+			}
+			walk(d.Parent)
+		}
+	}
+	walk(target)
+	return out
+}
+
+// planCtx carries per-stage planning state: which blocks were already
+// resolved (a block is read once per stage even if reachable through
+// several chain paths).
+type planCtx struct {
+	sim      *Simulation
+	works    []taskWork
+	numTasks int
+	resolved map[block.ID]bool
+}
+
+// resolveBlock resolves one read of a cached block: cache hit (free),
+// promote from the home node's disk, or recompute from lineage. Costs
+// are charged to the reader task q mod numTasks; the block's home is
+// node q mod N.
+func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
+	id := r.Block(q)
+	if c.resolved == nil {
+		c.resolved = map[block.ID]bool{}
+	}
+	if c.resolved[id] {
+		return
+	}
+	c.resolved[id] = true
+
+	s := c.sim
+	home := q % len(s.nodes)
+	reader := q % c.numTasks
+	readerNode := reader % len(s.nodes)
+	w := &c.works[reader]
+
+	s.run.StageInputBytes += r.PartSize
+	if s.nodes[home].mem.Get(id) {
+		s.run.Hits++
+		s.traceEvent("hit", home, id)
+		if s.prefetched[id] {
+			s.run.PrefetchUsed++
+			delete(s.prefetched, id)
+		}
+		// A remote hit still moves bytes over the reader's NIC.
+		if home != readerNode {
+			w.netBytes += r.PartSize
+		}
+		return
+	}
+	s.run.Misses++
+
+	if s.nodes[home].disk.Has(id) {
+		s.run.DiskPromotes++
+		s.traceEvent("promote", home, id)
+		if home == readerNode {
+			w.diskBytes += r.PartSize
+		} else {
+			w.netBytes += r.PartSize
+		}
+		// Reading a spilled block back costs CPU too: Spark
+		// deserializes disk bytes into JVM objects (~150 MB/s).
+		w.computeUs += r.PartSize * 1_000_000 / (150 << 20)
+		w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})
+		return
+	}
+
+	// Lost entirely (MEMORY_ONLY eviction or node failure): recompute
+	// from lineage, then re-cache.
+	s.run.Recomputes++
+	s.traceEvent("recompute", home, id)
+	c.chainCost(r, q, w)
+	w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})
+}
+
+// chainCost charges the work to recompute one partition of r from its
+// lineage: compute costs up the narrow chain, source re-reads, shuffle
+// re-reads (shuffle outputs stay materialized on disk for the whole
+// application), and reads of materialized cached ancestors.
+func (c *planCtx) chainCost(r *dag.RDD, q int, w *taskWork) {
+	s := c.sim
+	w.computeUs += r.CostPerPart
+	if r.IsSource() {
+		w.diskBytes += r.PartSize
+		return
+	}
+	for _, d := range r.Deps {
+		if d.Type == dag.Shuffle {
+			per := d.Parent.Size() / int64(r.NumPartitions)
+			n := int64(len(s.nodes))
+			remote := per * (n - 1) / n
+			w.netBytes += remote
+			w.diskBytes += per - remote
+			continue
+		}
+		p := d.Parent
+		pq := q % p.NumPartitions
+		if p.Cached && s.created[p.ID] {
+			c.resolveBlock(p, pq)
+			continue
+		}
+		c.chainCost(p, pq, w)
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+// Slots models a node's CPU task slots (Spark executor cores) as a
+// counting semaphore with a FIFO wait queue. A task holds its slot for
+// its entire lifetime — I/O waits included — matching Spark's
+// thread-per-task executor.
+type Slots struct {
+	eng     *Engine
+	free    int
+	waiting []func()
+}
+
+// NewSlots creates a slot pool of the given width.
+func NewSlots(eng *Engine, n int) *Slots { return &Slots{eng: eng, free: n} }
+
+// Acquire runs fn as soon as a slot is available (possibly
+// immediately, in the current event).
+func (s *Slots) Acquire(fn func()) {
+	if s.free > 0 {
+		s.free--
+		fn()
+		return
+	}
+	s.waiting = append(s.waiting, fn)
+}
+
+// Release frees a slot, handing it to the oldest waiter if any. The
+// waiter runs in a fresh event at the current time so release sites
+// don't nest arbitrarily deep.
+func (s *Slots) Release() {
+	if len(s.waiting) > 0 {
+		next := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		s.eng.After(0, next)
+		return
+	}
+	s.free++
+}
+
+// Free returns the number of available slots (test helper).
+func (s *Slots) Free() int { return s.free }
+
+// Waiting returns the number of queued acquirers (test helper).
+func (s *Slots) Waiting() int { return len(s.waiting) }
+
+// Priority classes for device requests: demand I/O (tasks blocked on
+// it) is always served before background I/O (prefetches, write-behind
+// spills).
+type Priority int
+
+const (
+	// Demand I/O blocks a running task.
+	Demand Priority = iota
+	// Background I/O is opportunistic (prefetch, write-behind).
+	Background
+)
+
+type ioReq struct {
+	bytes int64
+	done  func()
+}
+
+// Device is a single-server FIFO queue with two priority classes,
+// modeling one node's disk or NIC. Service time is bytes/bandwidth; a
+// request in service is not preempted, but all queued demand requests
+// are served before any background request — which is exactly how
+// prefetch I/O "steals" only otherwise-idle bandwidth.
+type Device struct {
+	eng         *Engine
+	bytesPerSec int64
+	busy        bool
+	demand      []ioReq
+	background  []ioReq
+
+	// Busy accumulates total service time, for utilization metrics.
+	Busy int64
+}
+
+// NewDevice creates a device with the given bandwidth in bytes per
+// second of simulated time.
+func NewDevice(eng *Engine, bytesPerSec int64) *Device {
+	return &Device{eng: eng, bytesPerSec: bytesPerSec}
+}
+
+// Transfer enqueues a request for the given byte count; done fires
+// when the transfer completes. Zero-byte requests complete in a fresh
+// immediate event.
+func (d *Device) Transfer(bytes int64, prio Priority, done func()) {
+	if bytes <= 0 {
+		d.eng.After(0, done)
+		return
+	}
+	req := ioReq{bytes: bytes, done: done}
+	if prio == Demand {
+		d.demand = append(d.demand, req)
+	} else {
+		d.background = append(d.background, req)
+	}
+	d.serve()
+}
+
+func (d *Device) serve() {
+	if d.busy {
+		return
+	}
+	var req ioReq
+	switch {
+	case len(d.demand) > 0:
+		req = d.demand[0]
+		d.demand = d.demand[1:]
+	case len(d.background) > 0:
+		req = d.background[0]
+		d.background = d.background[1:]
+	default:
+		return
+	}
+	d.busy = true
+	dur := req.bytes * 1_000_000 / d.bytesPerSec
+	if dur < 1 {
+		dur = 1
+	}
+	d.Busy += dur
+	d.eng.After(dur, func() {
+		d.busy = false
+		req.done()
+		d.serve()
+	})
+}
+
+// QueueLen returns pending request counts (test helper).
+func (d *Device) QueueLen() (demand, background int) {
+	return len(d.demand), len(d.background)
+}

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"fmt"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/metrics"
+	"mrdspark/internal/policy"
+)
+
+// Options tunes a simulation beyond the cluster config.
+type Options struct {
+	// FailNode, when >= 0, clears that node (memory, disk and local
+	// policy state) just before the FailAtStage-th executed stage, to
+	// exercise the fault-tolerance path of §4.4.
+	FailNode    int
+	FailAtStage int
+}
+
+// DefaultOptions returns options with failure injection disabled.
+func DefaultOptions() Options { return Options{FailNode: -1} }
+
+// node bundles one worker's stores and device queues.
+type node struct {
+	id      int
+	mem     *cluster.MemoryStore
+	disk    *cluster.DiskStore
+	pol     policy.Policy
+	cpu     *Slots
+	diskDev *Device
+	netDev  *Device
+}
+
+// Simulation executes one application DAG on one simulated cluster
+// under one cache policy. Create with New, run once with Run.
+type Simulation struct {
+	eng     *Engine
+	cfg     cluster.Config
+	g       *dag.Graph
+	factory policy.Factory
+	opts    Options
+
+	nodes []*node
+	run   metrics.Run
+
+	// created marks RDDs whose blocks have been materialized, which
+	// turns them into read boundaries for later stages.
+	created map[int]bool
+	// prefetched marks blocks brought in by prefetch and not yet hit,
+	// for used/wasted accounting.
+	prefetched map[block.ID]bool
+	// inFlight guards against duplicate prefetch orders for a block.
+	inFlight map[block.ID]bool
+
+	finish   int64
+	stageIx  int // count of executed stages, for failure injection
+	ran      bool
+	timeline []metrics.StageSpan
+	traceOn  bool
+	trace    []TraceEvent
+}
+
+// New assembles a simulation. The factory mints one policy per node;
+// cluster-aware factories are attached to the control surface.
+func New(g *dag.Graph, cfg cluster.Config, factory policy.Factory, workload string) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid DAG: %w", err)
+	}
+	s := &Simulation{
+		eng:        NewEngine(),
+		cfg:        cfg,
+		g:          g,
+		factory:    factory,
+		opts:       DefaultOptions(),
+		created:    map[int]bool{},
+		prefetched: map[block.ID]bool{},
+		inFlight:   map[block.ID]bool{},
+	}
+	s.run.Workload = workload
+	s.run.Policy = factory.Name()
+	for i := 0; i < cfg.Nodes; i++ {
+		pol := factory.NewNodePolicy(i)
+		s.nodes = append(s.nodes, &node{
+			id:      i,
+			mem:     cluster.NewMemoryStore(cfg.CacheBytes, pol),
+			disk:    cluster.NewDiskStore(),
+			pol:     pol,
+			cpu:     NewSlots(s.eng, cfg.CoresPerNode),
+			diskDev: NewDevice(s.eng, cfg.DiskBytesPerSec),
+			netDev:  NewDevice(s.eng, cfg.NetBytesPerSec),
+		})
+	}
+	if ca, ok := factory.(policy.ClusterAware); ok {
+		ca.Attach(clusterOps{s})
+	}
+	return s, nil
+}
+
+// SetOptions replaces the simulation options (before Run).
+func (s *Simulation) SetOptions(o Options) { s.opts = o }
+
+// Run executes the application to completion and returns its metrics.
+// A Simulation is single-use.
+func (s *Simulation) Run() metrics.Run {
+	if s.ran {
+		panic("sim: Simulation is single-use; create a new one per run")
+	}
+	s.ran = true
+	s.eng.After(0, func() { s.startJob(0) })
+	s.run.WallTime = s.eng.Run()
+	s.run.JCT = s.finish
+	for _, n := range s.nodes {
+		s.run.DiskBusy += n.diskDev.Busy
+		s.run.NetBusy += n.netDev.Busy
+	}
+	return s.run
+}
+
+// Timeline returns the per-stage spans of the completed run, in
+// execution order.
+func (s *Simulation) Timeline() []metrics.StageSpan { return s.timeline }
+
+// NodeStats is one worker's view of the run, for locality and balance
+// analysis.
+type NodeStats struct {
+	Node        int
+	CacheUsed   int64 // bytes resident at the end
+	CacheBlocks int
+	DiskBlocks  int
+	DiskBusy    int64 // µs
+	NetBusy     int64 // µs
+	Evictions   int64
+}
+
+// PerNode returns each worker's statistics after the run.
+func (s *Simulation) PerNode() []NodeStats {
+	out := make([]NodeStats, len(s.nodes))
+	for i, n := range s.nodes {
+		out[i] = NodeStats{
+			Node:        i,
+			CacheUsed:   n.mem.Used(),
+			CacheBlocks: n.mem.Len(),
+			DiskBlocks:  n.disk.Len(),
+			DiskBusy:    n.diskDev.Busy,
+			NetBusy:     n.netDev.Busy,
+			Evictions:   n.mem.Evictions,
+		}
+	}
+	return out
+}
+
+// Audit cross-checks internal consistency after a completed run: store
+// occupancy never above capacity, prefetch bookkeeping fully drained,
+// and every still-tracked prefetched block actually resident. Tests
+// call it after integration runs; it returns the first violation.
+func (s *Simulation) Audit() error {
+	if !s.ran {
+		return fmt.Errorf("sim: Audit before Run")
+	}
+	for _, n := range s.nodes {
+		if n.mem.Used() > n.mem.Capacity() {
+			return fmt.Errorf("sim: node %d over capacity: %d > %d", n.id, n.mem.Used(), n.mem.Capacity())
+		}
+		if n.mem.Used() < 0 {
+			return fmt.Errorf("sim: node %d negative occupancy %d", n.id, n.mem.Used())
+		}
+	}
+	if len(s.inFlight) != 0 {
+		return fmt.Errorf("sim: %d prefetches still in flight after drain", len(s.inFlight))
+	}
+	for id := range s.prefetched {
+		if !s.nodes[id.Partition%len(s.nodes)].mem.Contains(id) {
+			return fmt.Errorf("sim: prefetched block %v tracked but not resident", id)
+		}
+	}
+	if s.run.PrefetchUsed+s.run.PrefetchWasted+int64(len(s.prefetched)) != s.run.PrefetchIssued {
+		return fmt.Errorf("sim: prefetch ledger broken: used %d + wasted %d + pending %d != issued %d",
+			s.run.PrefetchUsed, s.run.PrefetchWasted, len(s.prefetched), s.run.PrefetchIssued)
+	}
+	return nil
+}
+
+// Run is the convenience entry point: build and run in one call.
+func Run(g *dag.Graph, cfg cluster.Config, factory policy.Factory, workload string) (metrics.Run, error) {
+	s, err := New(g, cfg, factory, workload)
+	if err != nil {
+		return metrics.Run{}, err
+	}
+	return s.Run(), nil
+}
+
+func (s *Simulation) startJob(i int) {
+	if i >= len(s.g.Jobs) {
+		s.finish = s.eng.Now()
+		return
+	}
+	job := s.g.Jobs[i]
+	s.run.Jobs++
+	s.run.StagesSkipped += job.SkippedStages()
+	if jo, ok := s.factory.(policy.JobObserver); ok {
+		jo.OnJobSubmit(job)
+	}
+	s.startStage(job, 0, func() { s.startJob(i + 1) })
+}
+
+func (s *Simulation) startStage(job *dag.Job, k int, done func()) {
+	if k >= len(job.NewStages) {
+		done()
+		return
+	}
+	st := job.NewStages[k]
+	s.maybeFail()
+	s.stageIx++
+	if so, ok := s.factory.(policy.StageObserver); ok {
+		so.OnStageStart(st.ID, job.ID)
+	}
+	s.run.StagesExecuted++
+	s.traceStage(st.ID, job.ID)
+	span := metrics.StageSpan{
+		StageID: st.ID, JobID: job.ID, Kind: st.Kind.String(),
+		Tasks: st.NumTasks, Start: s.eng.Now(),
+	}
+	s.execStage(st, func() {
+		span.End = s.eng.Now()
+		s.timeline = append(s.timeline, span)
+		s.startStage(job, k+1, done)
+	})
+}
+
+// maybeFail injects the configured node failure just before the target
+// stage: the node loses memory, disk and policy state, and the factory
+// is told so it can re-issue whatever distributed state it maintains.
+func (s *Simulation) maybeFail() {
+	if s.opts.FailNode < 0 || s.opts.FailNode >= len(s.nodes) || s.stageIx != s.opts.FailAtStage {
+		return
+	}
+	n := s.nodes[s.opts.FailNode]
+	s.traceEvent("node-fail", n.id, block.ID{})
+	n.mem.Clear()
+	n.disk.Clear()
+	n.pol = s.factory.NewNodePolicy(n.id)
+	n.mem = cluster.NewMemoryStore(s.cfg.CacheBytes, n.pol)
+	if fo, ok := s.factory.(policy.NodeFailureObserver); ok {
+		fo.OnNodeFailure(n.id)
+	}
+}
+
+// taskWork is everything one task does: demand disk I/O, demand
+// network I/O, compute, a shuffle write, and cache inserts at the end.
+type taskWork struct {
+	diskBytes    int64
+	netBytes     int64
+	computeUs    int64
+	shuffleWrite int64
+	inserts      []insert
+}
+
+// insert is a cache write targeted at a block's home node.
+type insert struct {
+	node int
+	info block.Info
+}
+
+func (s *Simulation) execStage(st *dag.Stage, done func()) {
+	works := s.planStage(st)
+	remaining := len(works)
+	for p := range works {
+		p := p
+		w := works[p]
+		n := s.nodes[p%len(s.nodes)]
+		n.cpu.Acquire(func() {
+			s.runTask(n, w, func() {
+				n.cpu.Release()
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			})
+		})
+	}
+}
+
+func (s *Simulation) runTask(n *node, w taskWork, done func()) {
+	s.run.TasksExecuted++
+	s.run.DiskReadBytes += w.diskBytes
+	s.run.NetReadBytes += w.netBytes
+	n.diskDev.Transfer(w.diskBytes, Demand, func() {
+		n.netDev.Transfer(w.netBytes, Demand, func() {
+			s.eng.After(w.computeUs, func() {
+				s.run.DiskWriteBytes += w.shuffleWrite
+				n.diskDev.Transfer(w.shuffleWrite, Demand, func() {
+					for _, ins := range w.inserts {
+						s.insertBlock(ins)
+					}
+					done()
+				})
+			})
+		})
+	})
+}
+
+// insertBlock places a newly materialized (or promoted) block into its
+// home node's memory store, spilling a write-behind disk copy for
+// MEMORY_AND_DISK blocks so later misses and prefetches can read it
+// back without recomputation.
+func (s *Simulation) insertBlock(ins insert) {
+	n := s.nodes[ins.node]
+	if ins.info.Level == block.MemoryAndDisk && !n.disk.Has(ins.info.ID) {
+		n.disk.Put(ins.info.ID, ins.info.Size)
+		s.run.DiskWriteBytes += ins.info.Size
+		n.diskDev.Transfer(ins.info.Size, Background, func() {})
+	}
+	evicted, _ := n.mem.Put(ins.info)
+	s.traceEvent("insert", ins.node, ins.info.ID)
+	s.noteEvictions(evicted)
+	s.notePeak()
+}
+
+// notePeak updates the cluster-wide occupancy high-water mark.
+func (s *Simulation) notePeak() {
+	var used int64
+	for _, n := range s.nodes {
+		used += n.mem.Used()
+	}
+	if used > s.run.PeakCacheUsed {
+		s.run.PeakCacheUsed = used
+	}
+}
+
+func (s *Simulation) noteEvictions(evicted []block.Info) {
+	s.run.Evictions += int64(len(evicted))
+	for _, ev := range evicted {
+		if s.traceOn {
+			s.traceEvent("evict", ev.ID.Partition%len(s.nodes), ev.ID)
+		}
+		if s.prefetched[ev.ID] {
+			s.run.PrefetchWasted++
+			delete(s.prefetched, ev.ID)
+		}
+	}
+}

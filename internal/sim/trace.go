@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mrdspark/internal/block"
+)
+
+// TraceEvent is one entry of the optional run trace: every cache and
+// scheduling decision with its simulated timestamp. Traces exist for
+// debugging policies and for post-hoc analysis; they are off by
+// default (a full SCC run produces tens of thousands of events).
+type TraceEvent struct {
+	At    int64  `json:"at"` // µs
+	Node  int    `json:"node"`
+	Kind  string `json:"kind"` // stage-start, hit, promote, recompute, insert, evict, purge, prefetch-issue, prefetch-arrive, node-fail
+	Block string `json:"block,omitempty"`
+	Stage int    `json:"stage,omitempty"`
+	Job   int    `json:"job,omitempty"`
+}
+
+// EnableTrace turns on event collection (before Run).
+func (s *Simulation) EnableTrace() { s.traceOn = true }
+
+// Trace returns the collected events in emission order.
+func (s *Simulation) Trace() []TraceEvent { return s.trace }
+
+// WriteTrace writes the trace as JSON lines.
+func (s *Simulation) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range s.trace {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("sim: writing trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *Simulation) traceEvent(kind string, node int, id block.ID) {
+	if !s.traceOn {
+		return
+	}
+	s.trace = append(s.trace, TraceEvent{
+		At: s.eng.Now(), Node: node, Kind: kind, Block: id.String(),
+	})
+}
+
+func (s *Simulation) traceStage(stageID, jobID int) {
+	if !s.traceOn {
+		return
+	}
+	s.trace = append(s.trace, TraceEvent{
+		At: s.eng.Now(), Kind: "stage-start", Stage: stageID, Job: jobID,
+	})
+}

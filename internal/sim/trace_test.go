@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/core"
+	"mrdspark/internal/policy"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	g, _ := cachedReuseGraph(block.MemoryAndDisk)
+	s, err := New(g, tinyCluster(1<<20), policy.NewLRU(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(s.Trace()) != 0 {
+		t.Errorf("trace collected without EnableTrace: %d events", len(s.Trace()))
+	}
+}
+
+func TestTraceRecordsCacheLifecycle(t *testing.T) {
+	g, _, _ := twoGapGraph()
+	mgr := mrdFactory(g, core.Options{})
+	s, err := New(g, tinyCluster(1<<10), mgr, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableTrace()
+	run := s.Run()
+
+	kinds := map[string]int{}
+	var prev int64
+	for _, ev := range s.Trace() {
+		kinds[ev.Kind]++
+		if ev.At < prev {
+			t.Fatalf("trace out of order at %+v", ev)
+		}
+		prev = ev.At
+	}
+	if kinds["stage-start"] != run.StagesExecuted {
+		t.Errorf("stage-start events = %d, want %d", kinds["stage-start"], run.StagesExecuted)
+	}
+	if int64(kinds["hit"]) != run.Hits {
+		t.Errorf("hit events = %d, want %d", kinds["hit"], run.Hits)
+	}
+	if int64(kinds["promote"]) != run.DiskPromotes {
+		t.Errorf("promote events = %d, want %d", kinds["promote"], run.DiskPromotes)
+	}
+	if int64(kinds["purge"]) != run.PurgedBlocks {
+		t.Errorf("purge events = %d, want %d", kinds["purge"], run.PurgedBlocks)
+	}
+	if int64(kinds["prefetch-issue"]) != run.PrefetchIssued {
+		t.Errorf("prefetch-issue events = %d, want %d", kinds["prefetch-issue"], run.PrefetchIssued)
+	}
+	if kinds["insert"] == 0 {
+		t.Error("no insert events")
+	}
+}
+
+func TestWriteTraceJSONLines(t *testing.T) {
+	g, _ := cachedReuseGraph(block.MemoryAndDisk)
+	s, err := New(g, tinyCluster(1<<10), policy.NewLRU(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableTrace()
+	s.Run()
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(s.Trace()) {
+		t.Fatalf("wrote %d lines for %d events", len(lines), len(s.Trace()))
+	}
+	for _, ln := range lines {
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad JSON line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestTraceFailureEvent(t *testing.T) {
+	g, _ := junkFlowGraph()
+	s, err := New(g, tinyCluster(1<<20), mrdFactory(g, core.Options{}), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableTrace()
+	s.SetOptions(Options{FailNode: 1, FailAtStage: 2})
+	s.Run()
+	for _, ev := range s.Trace() {
+		if ev.Kind == "node-fail" && ev.Node == 1 {
+			return
+		}
+	}
+	t.Error("node failure not traced")
+}

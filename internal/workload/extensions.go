@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/dag"
+)
+
+// The paper's conclusion names "testing with more benchmarks" as
+// future work. This file adds three workloads beyond the SparkBench
+// and HiBench suites — a breadth-first search, gradient-boosted trees,
+// and a TPC-H-style star join — registered under the "Extensions"
+// suite. They run everywhere (mrdsim, the facade, the cross-policy
+// tests) but stay out of the paper's tables, which are defined by the
+// original suites.
+
+func init() {
+	register("EXT-BFS", ExtBFS)
+	register("EXT-GBT", ExtGBT)
+	register("EXT-StarJoin", ExtStarJoin)
+}
+
+// ExtBFS builds an unweighted breadth-first search: Pregel frontier
+// expansion where each superstep's frontier is a fresh small cached
+// RDD and the visited set accumulates — old frontiers die immediately
+// (purge-friendly), the visited set is read every superstep.
+func ExtBFS(p Params) *Spec {
+	input := defaultInt64(p.InputBytes, 1200*MB)
+	parts := defaultInt(p.Partitions, 48)
+	iters := defaultInt(p.Iterations, 10)
+	partSize := input / int64(parts)
+
+	g := dag.New()
+	src := g.Source("hdfs:edges", parts, partSize, dag.WithCost(costAt(partSize, ioLightMBps)))
+	edges := src.Map("parseEdges", dag.WithCost(costAt(partSize, ioLightMBps))).
+		PartitionBy("edgePartitions", dag.WithSizeFactor(1.2),
+			dag.WithCost(costAt(partSize, ioLightMBps))).Persist(block.MemoryAndDisk)
+	visited := edges.ReduceByKey("initVisited", dag.WithSizeFactor(0.3),
+		dag.WithCost(costAt(partSize, ioLightMBps))).Persist(block.MemoryAndDisk)
+	g.Count(visited)
+
+	frontier := visited.Filter("rootFrontier", dag.WithSizeFactor(0.02),
+		dag.WithCost(costAt(partSize, ioLightMBps))).Persist(block.MemoryAndDisk)
+	for i := 0; i < iters; i++ {
+		expand := frontier.ZipPartitions(fmt.Sprintf("expand-%d", i), edges,
+			dag.WithSizeFactor(0.1), dag.WithCost(costAt(partSize, ioLightMBps)))
+		next := expand.ReduceByKey(fmt.Sprintf("dedup-%d", i),
+			dag.WithCost(costAt(partSize/8, mixedMBps)))
+		frontier = next.ZipPartitions(fmt.Sprintf("unvisitedOnly-%d", i), visited,
+			dag.WithCost(costAt(partSize/4, mixedMBps))).Persist(block.MemoryAndDisk)
+		visited = visited.ZipPartitions(fmt.Sprintf("markVisited-%d", i), frontier,
+			dag.WithCost(costAt(partSize/4, mixedMBps))).Persist(block.MemoryAndDisk)
+		g.Count(frontier)
+	}
+	g.Count(visited)
+
+	return &Spec{
+		Name: "EXT-BFS", FullName: "Breadth-First Search",
+		Suite: "Extensions", Category: "Graph Computation", JobType: IOIntensive,
+		InputBytes: input, Iterations: iters, Graph: g,
+	}
+}
+
+// ExtGBT builds gradient-boosted trees: sequential tree fitting where
+// each round reads the cached training data AND the previous round's
+// cached residuals — a two-generation live window, the awkward middle
+// ground between KM's single hot RDD and LP's long lags.
+func ExtGBT(p Params) *Spec {
+	input := defaultInt64(p.InputBytes, 2800*MB)
+	parts := defaultInt(p.Partitions, int(input/(24*MB))+1)
+	rounds := defaultInt(p.Iterations, 8)
+	partSize := input / int64(parts)
+
+	g := dag.New()
+	src := g.Source("hdfs:samples", parts, partSize, dag.WithCost(costAt(partSize, ioLightMBps)))
+	data := src.Map("parse", dag.WithCost(costAt(partSize, mixedMBps))).Persist(block.MemoryAndDisk)
+	g.Count(data)
+
+	residuals := data.Map("initResiduals", dag.WithSizeFactor(0.25),
+		dag.WithCost(costAt(partSize, mixedMBps))).Persist(block.MemoryAndDisk)
+	for r := 0; r < rounds; r++ {
+		stats := data.ZipPartitions(fmt.Sprintf("treeStats-%d", r), residuals,
+			dag.WithPartSize(256*KB), dag.WithCost(costAt(partSize, cpuHeavyMBps)))
+		tree := stats.ReduceByKey(fmt.Sprintf("bestSplits-%d", r), dag.WithPartitions(4),
+			dag.WithCost(costAt(256*KB, mixedMBps)))
+		g.Collect(tree)
+		residuals = data.ZipPartitions(fmt.Sprintf("updateResiduals-%d", r), residuals,
+			dag.WithSizeFactor(0.25), dag.WithCost(costAt(partSize, mixedMBps))).
+			Persist(block.MemoryAndDisk)
+		g.Count(residuals)
+	}
+
+	return &Spec{
+		Name: "EXT-GBT", FullName: "Gradient-Boosted Trees",
+		Suite: "Extensions", Category: "Machine Learning", JobType: Mixed,
+		InputBytes: input, Iterations: rounds, Graph: g,
+	}
+}
+
+// ExtStarJoin builds a TPC-H-style star join: a large cached fact
+// table joined against several small cached dimension tables by a
+// sequence of reporting queries, each touching a different dimension
+// subset — reference gaps come from dimensions idling between the
+// queries that need them.
+func ExtStarJoin(p Params) *Spec {
+	input := defaultInt64(p.InputBytes, 6*GB)
+	parts := defaultInt(p.Partitions, int(input/(32*MB))+1)
+	queries := defaultInt(p.Iterations, 9)
+	partSize := input / int64(parts)
+
+	g := dag.New()
+	factSrc := g.Source("hdfs:fact", parts, partSize, dag.WithCost(costAt(partSize, ioLightMBps)))
+	fact := factSrc.Map("parseFact", dag.WithCost(costAt(partSize, mixedMBps))).
+		Persist(block.MemoryAndDisk)
+
+	const nDims = 4
+	dims := make([]*dag.RDD, nDims)
+	for d := 0; d < nDims; d++ {
+		dsrc := g.Source(fmt.Sprintf("hdfs:dim%d", d), parts/4+1, partSize/8,
+			dag.WithCost(costAt(partSize/8, ioLightMBps)))
+		dims[d] = dsrc.Map(fmt.Sprintf("parseDim%d", d),
+			dag.WithCost(costAt(partSize/8, mixedMBps))).Persist(block.MemoryAndDisk)
+	}
+	g.Count(fact)
+
+	for q := 0; q < queries; q++ {
+		// Each query filters the fact table and joins one or two
+		// dimensions, cycling so every dimension idles between uses.
+		filtered := fact.Filter(fmt.Sprintf("where-%d", q), dag.WithSizeFactor(0.3),
+			dag.WithCost(costAt(partSize, mixedMBps)))
+		joined := filtered.ZipPartitions(fmt.Sprintf("joinDim-%d", q), dims[q%nDims],
+			dag.WithCost(costAt(partSize/3, mixedMBps)))
+		if q%2 == 1 {
+			joined = joined.ZipPartitions(fmt.Sprintf("joinDim2-%d", q), dims[(q+2)%nDims],
+				dag.WithCost(costAt(partSize/3, mixedMBps)))
+		}
+		report := joined.ReduceByKey(fmt.Sprintf("groupBy-%d", q), dag.WithSizeFactor(0.01),
+			dag.WithCost(costAt(partSize/3, mixedMBps)))
+		g.Collect(report)
+	}
+
+	return &Spec{
+		Name: "EXT-StarJoin", FullName: "Star-Schema Reporting",
+		Suite: "Extensions", Category: "SQL/Reporting", JobType: IOIntensive,
+		InputBytes: input, Iterations: queries, Graph: g,
+	}
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"testing"
+
+	"mrdspark/internal/refdist"
+)
+
+func TestAllWorkloadsBuildAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := Build(name, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name != name {
+				t.Errorf("spec name %q != %q", spec.Name, name)
+			}
+			if spec.Graph == nil || len(spec.Graph.Jobs) == 0 {
+				t.Fatal("empty graph")
+			}
+			if err := spec.Graph.Validate(); err != nil {
+				t.Fatalf("invalid DAG: %v", err)
+			}
+			if spec.InputBytes <= 0 {
+				t.Error("input bytes not set")
+			}
+			if spec.Suite != "SparkBench" && spec.Suite != "HiBench" && spec.Suite != "Extensions" {
+				t.Errorf("suite = %q", spec.Suite)
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if _, err := Get("KM"); err != nil {
+		t.Errorf("known workload rejected: %v", err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Build("nope", Params{}); err == nil {
+		t.Error("Build of unknown workload accepted")
+	}
+	if len(Names()) != 23 {
+		t.Errorf("registry holds %d workloads, want 23 (14 SparkBench + 6 HiBench + 3 extensions)", len(Names()))
+	}
+	if len(SparkBenchNames()) != 14 {
+		t.Errorf("SparkBench names = %d, want 14", len(SparkBenchNames()))
+	}
+}
+
+// Table 3's job counts are exact structural facts of the generators;
+// pin the ones the experiments rely on.
+func TestJobCountsMatchTable3(t *testing.T) {
+	want := map[string]int{
+		"KM": 17, "LinR": 6, "LogR": 7, "TC": 2, "SP": 3,
+		"LP": 23, "SCC": 26, "PO": 15, "DT": 10, "MF": 8,
+	}
+	for name, jobs := range want {
+		spec, err := Build(name, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(spec.Graph.Jobs); got != jobs {
+			t.Errorf("%s jobs = %d, want %d", name, got, jobs)
+		}
+	}
+}
+
+func TestIterativeWorkloadsHaveSkippedStages(t *testing.T) {
+	for _, name := range []string{"LP", "SCC", "PO", "MF", "PR", "CC"} {
+		spec, _ := Build(name, Params{})
+		c := spec.Graph.Characterize()
+		if c.Stages <= c.ActiveStages {
+			t.Errorf("%s: total %d <= active %d; lineage closure should inflate totals",
+				name, c.Stages, c.ActiveStages)
+		}
+	}
+}
+
+func TestDistanceOrderingAcrossWorkloads(t *testing.T) {
+	// The relative ordering the paper's Table 1 establishes and §5.10
+	// leans on: LP and SCC far above everything; TC and SP near the
+	// bottom; HiBench Sort/WordCount at zero.
+	stats := map[string]refdist.Stats{}
+	for _, name := range Names() {
+		spec, _ := Build(name, Params{})
+		stats[name] = refdist.FromGraph(spec.Graph).Stats()
+	}
+	for _, big := range []string{"LP", "SCC"} {
+		for _, small := range []string{"TC", "SP", "LinR", "LogR", "KM", "PR"} {
+			if stats[big].AvgStageDistance <= stats[small].AvgStageDistance {
+				t.Errorf("%s avg stage distance %.2f <= %s %.2f",
+					big, stats[big].AvgStageDistance, small, stats[small].AvgStageDistance)
+			}
+		}
+	}
+	for _, zero := range []string{"HB-Sort", "HB-WordCount"} {
+		if s := stats[zero]; s.AvgStageDistance != 0 || s.MaxStageDistance != 0 {
+			t.Errorf("%s distances = %+v, want all zero", zero, s)
+		}
+	}
+	if stats["HB-KMeans"].AvgStageDistance < 3 {
+		t.Errorf("HB-KMeans avg = %.2f, want substantial (paper: 6.60)", stats["HB-KMeans"].AvgStageDistance)
+	}
+}
+
+func TestIterationsParameterScalesJobs(t *testing.T) {
+	for _, name := range []string{"KM", "LinR", "LP", "PO", "MF", "DT"} {
+		base, _ := Build(name, Params{})
+		if base.Iterations == 0 {
+			t.Errorf("%s has no iteration parameter", name)
+			continue
+		}
+		tripled, _ := Build(name, Params{Iterations: 3 * base.Iterations})
+		if len(tripled.Graph.Jobs) <= len(base.Graph.Jobs) {
+			t.Errorf("%s: tripling iterations did not add jobs (%d -> %d)",
+				name, len(base.Graph.Jobs), len(tripled.Graph.Jobs))
+		}
+		if tripled.Graph.ActiveStages() <= base.Graph.ActiveStages() {
+			t.Errorf("%s: tripling iterations did not add stages", name)
+		}
+	}
+}
+
+func TestParamsOverrides(t *testing.T) {
+	spec, _ := Build("PR", Params{Partitions: 12, InputBytes: 100 << 20})
+	if spec.InputBytes != 100<<20 {
+		t.Errorf("input override ignored: %d", spec.InputBytes)
+	}
+	src := spec.Graph.RDDs[0]
+	if src.NumPartitions != 12 {
+		t.Errorf("partition override ignored: %d", src.NumPartitions)
+	}
+}
+
+func TestJobTypesMatchTable3(t *testing.T) {
+	want := map[string]JobType{
+		"KM": Mixed, "LinR": CPUIntensive, "LogR": CPUIntensive, "SVM": CPUIntensive,
+		"DT": CPUIntensive, "MF": Mixed, "PR": IOIntensive, "TC": Mixed, "SP": Mixed,
+		"LP": IOIntensive, "SVD": IOIntensive, "CC": IOIntensive, "SCC": IOIntensive,
+		"PO": IOIntensive,
+	}
+	for name, jt := range want {
+		spec, _ := Build(name, Params{})
+		if spec.JobType != jt {
+			t.Errorf("%s job type = %q, want %q", name, spec.JobType, jt)
+		}
+	}
+}
+
+func TestCachedRDDsExist(t *testing.T) {
+	// Every SparkBench workload caches something (that is the point);
+	// Sort and WordCount cache nothing.
+	for _, name := range SparkBenchNames() {
+		spec, _ := Build(name, Params{})
+		if len(spec.Graph.CachedRDDs()) == 0 {
+			t.Errorf("%s caches nothing", name)
+		}
+	}
+	for _, name := range []string{"HB-Sort", "HB-WordCount"} {
+		spec, _ := Build(name, Params{})
+		if len(spec.Graph.CachedRDDs()) != 0 {
+			t.Errorf("%s should cache nothing", name)
+		}
+	}
+}
+
+func TestCostAtFloorsAndScales(t *testing.T) {
+	if costAt(1, 100) != 100 {
+		t.Errorf("tiny input must hit the 100µs floor, got %d", costAt(1, 100))
+	}
+	if costAt(100*MB, 100) != 1_000_000 {
+		t.Errorf("100MB at 100MB/s = %d µs, want 1s", costAt(100*MB, 100))
+	}
+	if costAt(10*MB, cpuHeavyMBps) <= costAt(10*MB, ioLightMBps) {
+		t.Error("CPU-heavy rate must cost more than I/O-light")
+	}
+}
+
+func TestExtensionWorkloads(t *testing.T) {
+	for _, name := range []string{"EXT-BFS", "EXT-GBT", "EXT-StarJoin"} {
+		spec, err := Build(name, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Suite != "Extensions" {
+			t.Errorf("%s suite = %q", name, spec.Suite)
+		}
+		if err := spec.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(spec.Graph.CachedRDDs()) == 0 {
+			t.Errorf("%s caches nothing", name)
+		}
+		st := refdist.FromGraph(spec.Graph).Stats()
+		if st.Gaps == 0 {
+			t.Errorf("%s has no reference gaps; cache management is moot", name)
+		}
+	}
+	// Extensions stay out of the paper suites.
+	for _, name := range SparkBenchNames() {
+		if len(name) >= 4 && name[:4] == "EXT-" {
+			t.Errorf("extension %s leaked into SparkBench names", name)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package mrdspark is a faithful, self-contained reproduction of
+// "Reference-distance Eviction and Prefetching for Cache Management in
+// Spark" (Perez, Zhou, Cheng — ICPP 2018): the Most Reference Distance
+// (MRD) cache-management policy, the Spark-like DAG/stage/cache
+// substrate it lives in, the baseline policies it is evaluated against
+// (LRU, LRC, MemTune, Belady's MIN), the twenty benchmark workloads of
+// the paper's Tables 1 and 3, and a deterministic discrete-event
+// cluster simulator that regenerates every table and figure of the
+// paper's evaluation.
+//
+// This root package is the stable entry point: build a workload (or
+// your own DAG via the Graph API), pick a cluster and a policy, and
+// Run it:
+//
+//	run, err := mrdspark.Run(mrdspark.Config{
+//		Workload: "PR",
+//		Cluster:  mrdspark.MainCluster(),
+//		Policy:   "MRD",
+//	})
+//	fmt.Println(run.JCTDuration(), run.HitRatio())
+//
+// The internal packages expose the full machinery for finer control;
+// the experiments CLI (cmd/experiments) regenerates the paper's
+// artifacts.
+package mrdspark
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/core"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/metrics"
+	"mrdspark/internal/policy"
+	"mrdspark/internal/refdist"
+	"mrdspark/internal/sim"
+	"mrdspark/internal/workload"
+)
+
+// Re-exported types, so typical users never import internal packages.
+type (
+	// Result holds the metrics of one simulated application run.
+	Result = metrics.Run
+	// ClusterConfig describes the simulated cluster.
+	ClusterConfig = cluster.Config
+	// Graph is an application DAG built with the RDD transformation
+	// API (see NewGraph).
+	Graph = dag.Graph
+	// RDD is a cost-annotated dataset in a Graph.
+	RDD = dag.RDD
+	// Policy is a per-node eviction policy; implement it (and
+	// optionally the observer interfaces in internal/policy) to plug
+	// a custom policy into the simulator via RunGraph.
+	Policy = policy.Policy
+	// PolicyFactory mints per-node policies.
+	PolicyFactory = policy.Factory
+	// WorkloadParams parameterizes the benchmark generators.
+	WorkloadParams = workload.Params
+	// WorkloadSpec is a generated benchmark workload.
+	WorkloadSpec = workload.Spec
+	// MRDOptions configures the MRD policy variants.
+	MRDOptions = core.Options
+)
+
+// MainCluster returns the paper's 25-node main testbed (Table 4).
+func MainCluster() ClusterConfig { return cluster.Main() }
+
+// LRCCluster returns the 20-node Amazon EC2 m4.large equivalent used
+// for the LRC comparison (Table 4).
+func LRCCluster() ClusterConfig { return cluster.LRC() }
+
+// MemTuneCluster returns the 6-node System G equivalent used for the
+// MemTune comparison (Table 4).
+func MemTuneCluster() ClusterConfig { return cluster.MemTune() }
+
+// NewGraph creates an empty application DAG for the transformation
+// API (Source, Map, ReduceByKey, Cache, Count, ...).
+func NewGraph() *Graph { return dag.New() }
+
+// Workloads returns the benchmark workload names (SparkBench and
+// HiBench, Table 1 order).
+func Workloads() []string { return workload.Names() }
+
+// SparkBenchWorkloads returns the fourteen performance-evaluation
+// workloads (Table 3 order).
+func SparkBenchWorkloads() []string { return workload.SparkBenchNames() }
+
+// BuildWorkload generates a benchmark workload's DAG.
+func BuildWorkload(name string, p WorkloadParams) (*WorkloadSpec, error) {
+	return workload.Build(name, p)
+}
+
+// Config selects what one Run simulates. Zero values mean: main
+// cluster, the cluster's default cache size, full MRD in recurring
+// mode.
+type Config struct {
+	// Workload is a benchmark name from Workloads(). Leave empty and
+	// use RunGraph for a custom DAG.
+	Workload string
+	// Params tunes the workload generator (iterations, input size).
+	Params WorkloadParams
+	// Cluster is the simulated cluster; zero value means MainCluster.
+	Cluster ClusterConfig
+	// CachePerNode overrides the cluster's per-node storage pool.
+	CachePerNode int64
+	// Policy is one of Policies(). Empty means "MRD".
+	Policy string
+	// MRD tunes the MRD variants (eviction/prefetch toggles, metric,
+	// threshold); ignored for other policies.
+	MRD MRDOptions
+	// AdHoc makes DAG-aware policies (MRD, LRC) learn the DAG one job
+	// at a time instead of starting from a recurring profile.
+	AdHoc bool
+	// FailNode injects a worker failure before executed stage
+	// FailAtStage when >= 1 (node index FailNode-1), exercising the
+	// §4.4 fault-tolerance path.
+	FailNode    int
+	FailAtStage int
+}
+
+// Policies returns the available policy names.
+func Policies() []string {
+	names := make([]string, 0, len(policyBuilders))
+	for name := range policyBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var policyBuilders = map[string]func(cfg Config, g *Graph) PolicyFactory{
+	"LRU":        func(Config, *Graph) PolicyFactory { return policy.NewLRU() },
+	"FIFO":       func(Config, *Graph) PolicyFactory { return policy.NewFIFO() },
+	"LFU":        func(Config, *Graph) PolicyFactory { return policy.NewLFU() },
+	"Hyperbolic": func(Config, *Graph) PolicyFactory { return policy.NewHyperbolic() },
+	"GDS":        func(Config, *Graph) PolicyFactory { return policy.NewGDS() },
+	"MIN":        func(_ Config, g *Graph) PolicyFactory { return policy.NewMIN(g) },
+	"MemTune":    func(_ Config, g *Graph) PolicyFactory { return policy.NewMemTune(g) },
+	"LRC": func(cfg Config, g *Graph) PolicyFactory {
+		if cfg.AdHoc {
+			return policy.NewLRCAdHoc()
+		}
+		return policy.NewLRC(g)
+	},
+	"MRD": buildMRD,
+	"MRD-evict": func(cfg Config, g *Graph) PolicyFactory {
+		cfg.MRD.DisablePrefetch = true
+		return buildMRD(cfg, g)
+	},
+	"MRD-prefetch": func(cfg Config, g *Graph) PolicyFactory {
+		cfg.MRD.DisableEviction = true
+		return buildMRD(cfg, g)
+	},
+	"MRD-dynamic": func(cfg Config, g *Graph) PolicyFactory {
+		cfg.MRD.DynamicThreshold = true
+		return buildMRD(cfg, g)
+	},
+}
+
+// buildMRD assembles the paper's policy: an AppProfiler in the
+// configured mode feeding an MRDManager.
+func buildMRD(cfg Config, g *Graph) PolicyFactory {
+	var prof *core.AppProfiler
+	if cfg.AdHoc {
+		prof = core.NewAppProfiler()
+	} else {
+		prof = core.NewRecurringProfiler(refdist.FromGraph(g))
+	}
+	return core.NewManager(g, prof, cfg.MRD)
+}
+
+// NewPolicy builds a policy factory by name for the given DAG.
+func NewPolicy(name string, cfg Config, g *Graph) (PolicyFactory, error) {
+	if name == "" {
+		name = "MRD"
+	}
+	b, ok := policyBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("mrdspark: unknown policy %q (have %v)", name, Policies())
+	}
+	return b(cfg, g), nil
+}
+
+// Run builds the configured benchmark workload and simulates it.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workload == "" {
+		return Result{}, fmt.Errorf("mrdspark: Config.Workload is empty (choose from %v, or use RunGraph)", Workloads())
+	}
+	spec, err := workload.Build(cfg.Workload, cfg.Params)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunGraph(spec.Graph, spec.Name, cfg)
+}
+
+// RunGraph simulates an arbitrary application DAG under the
+// configured cluster and policy.
+func RunGraph(g *Graph, name string, cfg Config) (Result, error) {
+	cl := cfg.Cluster
+	if cl.Nodes == 0 {
+		cl = cluster.Main()
+	}
+	if cfg.CachePerNode > 0 {
+		cl = cl.WithCache(cfg.CachePerNode)
+	}
+	factory, err := NewPolicy(cfg.Policy, cfg, g)
+	if err != nil {
+		return Result{}, err
+	}
+	s, err := sim.New(g, cl, factory, name)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.FailNode >= 1 {
+		s.SetOptions(sim.Options{FailNode: cfg.FailNode - 1, FailAtStage: cfg.FailAtStage})
+	}
+	return s.Run(), nil
+}
+
+// RunGraphWith simulates a DAG under a caller-provided policy factory
+// — the hook for custom policies (see examples/custompolicy).
+func RunGraphWith(g *Graph, name string, cl ClusterConfig, factory PolicyFactory) (Result, error) {
+	return sim.Run(g, cl, factory, name)
+}
+
+// StageSpan is one executed stage's slice of a run's timeline.
+type StageSpan = metrics.StageSpan
+
+// RunDetailed is Run plus the per-stage execution timeline.
+func RunDetailed(cfg Config) (Result, []StageSpan, error) {
+	return RunTraced(cfg, nil)
+}
+
+// RunTraced is RunDetailed plus, when trace is non-nil, a JSON-lines
+// event trace (every hit, promote, insert, evict, purge and prefetch
+// with its simulated timestamp) written to trace.
+func RunTraced(cfg Config, trace io.Writer) (Result, []StageSpan, error) {
+	if cfg.Workload == "" {
+		return Result{}, nil, fmt.Errorf("mrdspark: Config.Workload is empty (choose from %v)", Workloads())
+	}
+	spec, err := workload.Build(cfg.Workload, cfg.Params)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	cl := cfg.Cluster
+	if cl.Nodes == 0 {
+		cl = cluster.Main()
+	}
+	if cfg.CachePerNode > 0 {
+		cl = cl.WithCache(cfg.CachePerNode)
+	}
+	factory, err := NewPolicy(cfg.Policy, cfg, spec.Graph)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	s, err := sim.New(spec.Graph, cl, factory, spec.Name)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if cfg.FailNode >= 1 {
+		s.SetOptions(sim.Options{FailNode: cfg.FailNode - 1, FailAtStage: cfg.FailAtStage})
+	}
+	if trace != nil {
+		s.EnableTrace()
+	}
+	run := s.Run()
+	if trace != nil {
+		if err := s.WriteTrace(trace); err != nil {
+			return run, s.Timeline(), err
+		}
+	}
+	return run, s.Timeline(), nil
+}
