@@ -32,6 +32,11 @@ func main() {
 	jobDist := flag.Bool("jobdistance", false, "use job distance instead of stage distance (MRD)")
 	failNode := flag.Int("failnode", 0, "inject a failure of node N-1 (1-based; 0 = none)")
 	failStage := flag.Int("failstage", 0, "executed-stage index at which the failure hits")
+	chaos := flag.String("chaos", "", "fault-schedule preset (see -list; overrides -failnode)")
+	replication := flag.Int("replication", 0, "replica copies per cached/shuffle block (0 = schedule default)")
+	fetchFail := flag.Float64("fetchfail", -1, "remote-fetch failure probability in [0,1) (-1 = schedule default)")
+	seed := flag.Int64("seed", 0, "fault-schedule RNG seed (0 = schedule default)")
+	reissueDelay := flag.Int("reissuedelay", 0, "stages the MRD_Table re-issue takes to propagate after a crash")
 	stages := flag.Bool("stages", false, "print the per-stage execution timeline")
 	traceFile := flag.String("trace", "", "write a JSONL event trace (hits, evictions, prefetches) to this file")
 	list := flag.Bool("list", false, "list workloads and policies and exit")
@@ -40,6 +45,7 @@ func main() {
 	if *list {
 		fmt.Println("workloads:", strings.Join(mrdspark.Workloads(), " "))
 		fmt.Println("policies: ", strings.Join(mrdspark.Policies(), " "))
+		fmt.Println("chaos:    ", strings.Join(mrdspark.FaultPresets(), " "))
 		return
 	}
 
@@ -54,6 +60,7 @@ func main() {
 	if *jobDist {
 		cfg.MRD.Metric = 1 // core.JobDistance
 	}
+	cfg.MRD.ReissueDelayStages = *reissueDelay
 	switch strings.ToLower(*clusterName) {
 	case "main", "":
 		cfg.Cluster = mrdspark.MainCluster()
@@ -72,6 +79,36 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.CachePerNode = b
+	}
+
+	// A chaos preset is instantiated against the cluster size and the
+	// workload's executed-stage count, then tweaked by the override
+	// flags. Plain -replication / -fetchfail / -seed without -chaos
+	// modify an otherwise-empty (healthy) schedule.
+	if *chaos != "" || *replication > 0 || *fetchFail >= 0 || *seed != 0 {
+		sched := &mrdspark.FaultSchedule{Seed: 42}
+		if *chaos != "" {
+			spec, err := mrdspark.BuildWorkload(cfg.Workload, cfg.Params)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mrdsim:", err)
+				os.Exit(2)
+			}
+			sched, err = mrdspark.FaultPreset(*chaos, cfg.Cluster.Nodes, spec.Graph.ActiveStages())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mrdsim:", err)
+				os.Exit(2)
+			}
+		}
+		if *replication > 0 {
+			sched.Replication = *replication
+		}
+		if *fetchFail >= 0 {
+			sched.FetchFailureRate = *fetchFail
+		}
+		if *seed != 0 {
+			sched.Seed = *seed
+		}
+		cfg.Fault = sched
 	}
 
 	var trace io.Writer
@@ -102,6 +139,15 @@ func main() {
 		mb(run.DiskReadBytes), mb(run.DiskWriteBytes), mb(run.NetReadBytes))
 	fmt.Printf("workflow:        %d jobs, %d stages executed, %d skipped, %d tasks\n",
 		run.Jobs, run.StagesExecuted, run.StagesSkipped, run.TasksExecuted)
+	if cfg.Fault != nil || run.NodeCrashes > 0 {
+		fmt.Printf("faults:          %d crashes (%d rejoined), %d stragglers, %d blocks lost, %d corrupted\n",
+			run.NodeCrashes, run.NodeRejoins, run.StragglerEvents, run.BlocksLost, run.BlocksCorrupted)
+		fmt.Printf("recovery:        %s recomputed, %d replica hits (%s replica writes), %d fetch retries, %d give-ups\n",
+			mb(run.RecomputeBytes), run.ReplicaHits, mb(run.ReplicaWriteBytes), run.FetchRetries, run.FetchGiveUps)
+	}
+	if run.FaultWarning != "" {
+		fmt.Printf("WARNING:         %s\n", run.FaultWarning)
+	}
 	nodes := int64(cfg.Cluster.Nodes)
 	if run.WallTime > 0 && nodes > 0 {
 		fmt.Printf("utilization:     disk %.0f%%, network %.0f%% (mean across nodes)\n",

@@ -1,5 +1,6 @@
 // Fault tolerance (paper §4.4): kill a worker node mid-run and watch
-// the system recover — lost blocks recompute from lineage, and the
+// the system recover — lost blocks recompute from lineage (or come
+// back from surviving replicas when the schedule replicates), and the
 // MRDmanager re-issues the reference-distance table to the replacement
 // CacheMonitor.
 package main
@@ -10,6 +11,7 @@ import (
 
 	"mrdspark"
 	"mrdspark/internal/core"
+	"mrdspark/internal/fault"
 	"mrdspark/internal/refdist"
 	"mrdspark/internal/sim"
 )
@@ -28,24 +30,38 @@ func main() {
 	}
 
 	// Same run, but node 3 dies just before the 8th executed stage
-	// (memory, local disk and monitor state all lost).
-	mgr := core.NewManager(spec.Graph,
-		core.NewRecurringProfiler(refdist.FromGraph(spec.Graph)), core.Options{})
-	s, err := sim.New(spec.Graph, cl, mgr, spec.Name)
-	if err != nil {
-		log.Fatal(err)
+	// (memory, local disk and monitor state all lost). Once without
+	// replication — everything the node held recomputes from lineage —
+	// and once with replication factor 2, where surviving replica
+	// copies absorb most of the loss.
+	runCrash := func(replication int) (mrdspark.Result, core.Stats) {
+		mgr := core.NewManager(spec.Graph,
+			core.NewRecurringProfiler(refdist.FromGraph(spec.Graph)), core.Options{})
+		s, err := sim.New(spec.Graph, cl, mgr, spec.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched := fault.Crash(3, 8)
+		sched.Replication = replication
+		if err := s.SetOptions(sim.Options{Fault: sched}); err != nil {
+			log.Fatal(err)
+		}
+		return s.Run(), mgr.Stats()
 	}
-	s.SetOptions(sim.Options{FailNode: 3, FailAtStage: 8})
-	failed := s.Run()
+	failed, st := runCrash(1)
+	replicated, _ := runCrash(2)
 
 	fmt.Printf("ConnectedComponents under MRD, %d nodes:\n\n", cl.Nodes)
-	fmt.Printf("  healthy run:   JCT %-12v hit %5.1f%%  recomputes %d\n",
-		healthy.JCTDuration(), 100*healthy.HitRatio(), healthy.Recomputes)
-	fmt.Printf("  node 3 lost:   JCT %-12v hit %5.1f%%  recomputes %d\n",
-		failed.JCTDuration(), 100*failed.HitRatio(), failed.Recomputes)
-	st := mgr.Stats()
+	row := func(label string, r mrdspark.Result) {
+		fmt.Printf("  %-22s JCT %-12v hit %5.1f%%  recomputes %-4d replica hits %d\n",
+			label, r.JCTDuration(), 100*r.HitRatio(), r.Recomputes, r.ReplicaHits)
+	}
+	row("healthy run:", healthy)
+	row("node 3 lost:", failed)
+	row("node 3 lost, repl=2:", replicated)
 	fmt.Printf("\nmanager fault handling: MRD_Table re-issued %d time(s) to the replacement monitor\n",
 		st.TableReissues)
-	fmt.Printf("slowdown from the failure: %.1f%%\n",
-		100*(float64(failed.JCT)/float64(healthy.JCT)-1))
+	fmt.Printf("slowdown from the failure: %.1f%% unreplicated, %.1f%% with replication\n",
+		100*(float64(failed.JCT)/float64(healthy.JCT)-1),
+		100*(float64(replicated.JCT)/float64(healthy.JCT)-1))
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"mrdspark/internal/block"
 	"mrdspark/internal/policy"
@@ -16,6 +17,13 @@ type MemoryStore struct {
 	used     int64
 	blocks   map[block.ID]block.Info
 	pol      policy.Policy
+
+	// replicas tracks, per resident block, how many surviving off-node
+	// disk replicas the simulator has placed for it — the home node's
+	// view of how cheaply the block could be restored after loss. Pure
+	// bookkeeping: the store never acts on it, but the simulator and
+	// metrics read it back (NodeStats, audits).
+	replicas map[block.ID]int
 
 	// Evictions counts demand evictions (victim selection under
 	// pressure); proactive removals via Remove are counted by the
@@ -151,9 +159,30 @@ func (s *MemoryStore) Clear() {
 
 func (s *MemoryStore) dropLocked(info block.Info) {
 	delete(s.blocks, info.ID)
+	delete(s.replicas, info.ID)
 	s.used -= info.Size
 	s.pol.OnRemove(info.ID)
 }
+
+// SetReplicaCount records how many off-node disk replicas a resident
+// block currently has; non-resident blocks are ignored.
+func (s *MemoryStore) SetReplicaCount(id block.ID, n int) {
+	if _, ok := s.blocks[id]; !ok {
+		return
+	}
+	if s.replicas == nil {
+		s.replicas = map[block.ID]int{}
+	}
+	if n <= 0 {
+		delete(s.replicas, id)
+		return
+	}
+	s.replicas[id] = n
+}
+
+// ReplicaCount returns the recorded off-node replica count for the
+// block (0 when unknown or non-resident).
+func (s *MemoryStore) ReplicaCount(id block.ID) int { return s.replicas[id] }
 
 // Blocks returns a snapshot of resident block IDs (test helper; order
 // unspecified).
@@ -165,34 +194,104 @@ func (s *MemoryStore) Blocks() []block.ID {
 	return out
 }
 
-// DiskStore is one node's local-disk block set: spilled cache blocks
-// and HDFS-resident source data. Capacity is not modeled (the paper's
+// DiskStore is one node's local-disk block set: spilled cache blocks,
+// HDFS-resident source data, and — under replication — replica copies
+// of blocks homed on other nodes. Capacity is not modeled (the paper's
 // nodes have 200 GB disks, never a constraint); bandwidth is charged
-// by the simulator's device queues.
+// by the simulator's device queues. Unlike MemoryStore, whose policy
+// callbacks make it strictly single-owner, DiskStore has no reentrant
+// callbacks, so its map is guarded by a mutex and it is safe for
+// concurrent use (internal/experiments runs simulations in parallel).
 type DiskStore struct {
-	blocks map[block.ID]int64
+	mu     sync.Mutex
+	blocks map[block.ID]diskEntry
+}
+
+// diskEntry is one on-disk copy: its size and whether it is a replica
+// of a block homed on another node.
+type diskEntry struct {
+	size    int64
+	replica bool
 }
 
 // NewDiskStore creates an empty disk store.
-func NewDiskStore() *DiskStore { return &DiskStore{blocks: map[block.ID]int64{}} }
+func NewDiskStore() *DiskStore { return &DiskStore{blocks: map[block.ID]diskEntry{}} }
 
-// Has reports whether the block's bytes are on disk.
+// Has reports whether any copy of the block's bytes — primary or
+// replica — is on this disk.
 func (d *DiskStore) Has(id block.ID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	_, ok := d.blocks[id]
 	return ok
 }
 
-// Put records the block on disk.
-func (d *DiskStore) Put(id block.ID, size int64) { d.blocks[id] = size }
+// HasReplica reports whether this disk holds a replica copy of the
+// block (a copy whose home node is elsewhere).
+func (d *DiskStore) HasReplica(id block.ID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.blocks[id]
+	return ok && e.replica
+}
+
+// Put records a primary copy of the block on disk. Putting a block
+// that was a replica promotes it to primary.
+func (d *DiskStore) Put(id block.ID, size int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks[id] = diskEntry{size: size}
+}
+
+// PutReplica records a replica copy (replication of a block homed on
+// another node). A primary copy is never downgraded.
+func (d *DiskStore) PutReplica(id block.ID, size int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.blocks[id]; ok && !e.replica {
+		return
+	}
+	d.blocks[id] = diskEntry{size: size, replica: true}
+}
 
 // Size returns the block's on-disk size, or 0 if absent.
-func (d *DiskStore) Size(id block.ID) int64 { return d.blocks[id] }
+func (d *DiskStore) Size(id block.ID) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.blocks[id].size
+}
 
-// Remove drops the block from disk.
-func (d *DiskStore) Remove(id block.ID) { delete(d.blocks, id) }
+// Remove drops the block (any copy) from disk.
+func (d *DiskStore) Remove(id block.ID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.blocks, id)
+}
 
-// Clear empties the disk (node failure takes local data with it).
-func (d *DiskStore) Clear() { d.blocks = map[block.ID]int64{} }
+// Clear empties the disk (node failure takes local data with it,
+// replica copies included).
+func (d *DiskStore) Clear() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks = map[block.ID]diskEntry{}
+}
 
-// Len returns the number of blocks on disk.
-func (d *DiskStore) Len() int { return len(d.blocks) }
+// Len returns the number of blocks on disk, replicas included.
+func (d *DiskStore) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.blocks)
+}
+
+// ReplicaLen returns the number of replica copies on disk.
+func (d *DiskStore) ReplicaLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, e := range d.blocks {
+		if e.replica {
+			n++
+		}
+	}
+	return n
+}

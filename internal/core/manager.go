@@ -44,6 +44,13 @@ type Options struct {
 	// driven by the monitors' prefetch-outcome reports replaces the
 	// fixed 25%.
 	DynamicThreshold bool
+	// ReissueDelayStages models the propagation delay of the §4.4
+	// MRD_Table re-issue after a node failure: the replacement monitor
+	// runs without distances for that many stages, during which it
+	// degrades gracefully to recency (LRU) victim selection instead of
+	// evicting on stale distances. Zero means the re-issue is
+	// instantaneous (the paper's idealization).
+	ReissueDelayStages int
 	// TieBreak orders victims with equal reference distance (§3.3
 	// leaves this prioritization as future work). The default is
 	// least-recently-used.
@@ -102,6 +109,12 @@ type Stats struct {
 	ForcedPrefetch  int // prefetch orders that may evict on arrival
 	TableReissues   int // MRD_Table re-sends after node failures
 	MaxTableEntries int // high-water mark of MRD_Table size
+	// StaleFallbacks counts victim selections made by recency order
+	// because the node's re-issued table had not yet arrived.
+	StaleFallbacks int
+	// StaleWindowStages counts node-stages executed inside a stale-
+	// table window (table re-issued but not yet propagated).
+	StaleWindowStages int
 }
 
 // Manager is the centralized MRDmanager of §4.2: it owns the
@@ -126,6 +139,12 @@ type Manager struct {
 	monitors  map[int]*CacheMonitor
 	stats     Stats
 	threshold *thresholdController
+
+	// stageEpoch counts OnStageStart calls; staleUntil[node] is the
+	// last epoch at which that node's monitor still lacks the re-issued
+	// table (ReissueDelayStages > 0 only).
+	stageEpoch int
+	staleUntil map[int]int
 }
 
 // NewManager builds an MRD manager for the application. The graph
@@ -134,12 +153,13 @@ type Manager struct {
 // the profiler's mode.
 func NewManager(g *dag.Graph, profiler *AppProfiler, opts Options) *Manager {
 	return &Manager{
-		profiler:  profiler,
-		graph:     g,
-		opts:      opts,
-		table:     map[int]int{},
-		monitors:  map[int]*CacheMonitor{},
-		threshold: newThresholdController(opts.initialThreshold()),
+		profiler:   profiler,
+		graph:      g,
+		opts:       opts,
+		table:      map[int]int{},
+		monitors:   map[int]*CacheMonitor{},
+		threshold:  newThresholdController(opts.initialThreshold()),
+		staleUntil: map[int]int{},
 	}
 }
 
@@ -196,6 +216,17 @@ func (m *Manager) OnJobSubmit(j *dag.Job) {
 // distance in the table — followed by the purge and prefetch phases of
 // Algorithm 1.
 func (m *Manager) OnStageStart(stageID, jobID int) {
+	m.stageEpoch++
+	// Expire stale-table windows that ended before this stage; count
+	// the node-stages still inside one. (Map iteration: per-key delete
+	// and counter increments only, so order does not affect outcomes.)
+	for node, until := range m.staleUntil {
+		if until < m.stageEpoch {
+			delete(m.staleUntil, node)
+		} else {
+			m.stats.StaleWindowStages++
+		}
+	}
 	m.curStage = stageID
 	m.curJob = jobID
 	m.refreshTable()
@@ -221,12 +252,28 @@ func (m *Manager) Threshold() (value float64, adjustments int) {
 // OnNodeFailure implements policy.NodeFailureObserver: the manager
 // re-issues the MRD_Table to the replacement monitor (§4.4). Because
 // monitors read the shared table, the re-issue is a counter plus a
-// monitor reset.
+// monitor reset. With ReissueDelayStages > 0 the re-issued table takes
+// that many stages to propagate; until it lands, the node's monitor is
+// stale and falls back to recency eviction (see CacheMonitor.Victim).
 func (m *Manager) OnNodeFailure(node int) {
 	m.stats.TableReissues++
 	if mon, ok := m.monitors[node]; ok {
 		mon.reset()
 	}
+	if m.opts.ReissueDelayStages > 0 {
+		// Failures fire at a stage boundary before OnStageStart bumps
+		// the epoch, so a delay of D keeps the node stale through the
+		// D stages that start next.
+		m.staleUntil[node] = m.stageEpoch + m.opts.ReissueDelayStages
+	}
+}
+
+// tableStale reports whether the node's monitor is inside a stale-
+// table window: its distances are unavailable until the re-issued
+// MRD_Table propagates.
+func (m *Manager) tableStale(node int) bool {
+	until, ok := m.staleUntil[node]
+	return ok && until >= m.stageEpoch
 }
 
 // distance returns the current reference distance for the RDD:

@@ -70,9 +70,14 @@ func (c *CacheMonitor) OnRemove(id block.ID) {
 // evictable block with the greatest reference distance — infinite
 // distances are greatest of all — breaking distance ties by least
 // recent use. Under prefetch-only configurations it returns the plain
-// LRU victim.
+// LRU victim; so does a monitor whose re-issued table has not yet
+// propagated after a node failure (graceful degradation: recency is
+// wrong less often than distances from a table that no longer exists).
 func (c *CacheMonitor) Victim(evictable func(id block.ID) bool) (block.ID, bool) {
-	if c.mgr.opts.DisableEviction {
+	if stale := c.mgr.tableStale(c.node); stale || c.mgr.opts.DisableEviction {
+		if stale {
+			c.mgr.stats.StaleFallbacks++
+		}
 		for e := c.order.Back(); e != nil; e = e.Prev() {
 			id := e.Value.(block.ID)
 			if evictable(id) {
@@ -161,6 +166,11 @@ func (c *CacheMonitor) Distance(id block.ID) int { return c.mgr.distance(id.RDD)
 // the check, equal-distance blocks displace each other in an endless
 // churn — the counter-productive case §4.4 describes.
 func (c *CacheMonitor) AllowPrefetchEviction(incoming block.Info, victim block.ID) bool {
+	if c.mgr.tableStale(c.node) {
+		// No usable distances: refuse prefetch-triggered evictions
+		// rather than displace resident data on stale information.
+		return false
+	}
 	vd := c.mgr.distance(victim.RDD)
 	if refdist.IsInfinite(vd) {
 		return true

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"mrdspark/internal/refdist"
+)
+
+func TestStaleTableFallsBackToRecency(t *testing.T) {
+	g, near, far, dead := testGraph(t)
+	m := NewManager(g, NewRecurringProfiler(refdist.FromGraph(g)),
+		Options{ReissueDelayStages: 1})
+	mon := m.NewNodePolicy(0).(*CacheMonitor)
+	m.OnStageStart(1, 1)
+
+	// Healthy: distance eviction picks the infinite-distance block even
+	// when it is the most recently used.
+	mon.OnAdd(near.Block(0))
+	mon.OnAdd(dead.Block(0))
+	mon.OnAccess(dead.Block(0)) // near is LRU
+	if v, _ := mon.Victim(all); v != dead.Block(0) {
+		t.Fatalf("healthy victim = %v, want infinite-distance dead", v)
+	}
+
+	// The failure resets the monitor; the re-issued table is in flight
+	// for one stage, during which the replacement must fall back to
+	// recency instead of trusting distances it does not have.
+	m.OnNodeFailure(0)
+	mon.OnAdd(near.Block(0))
+	mon.OnAdd(dead.Block(0))
+	mon.OnAccess(dead.Block(0)) // near is LRU again
+	if v, _ := mon.Victim(all); v != near.Block(0) {
+		t.Errorf("stale-window victim = %v, want recency (LRU) choice", v)
+	}
+	if m.Stats().StaleFallbacks == 0 {
+		t.Error("recency fallback not counted")
+	}
+	// Prefetch arrivals must not evict on stale information either.
+	if mon.AllowPrefetchEviction(near.BlockInfo(0), dead.Block(0)) {
+		t.Error("prefetch eviction allowed during stale window")
+	}
+
+	// The stale window covers exactly one stage: the next one runs
+	// stale, the one after is back on distances.
+	m.OnStageStart(2, 2)
+	if !m.tableStale(0) {
+		t.Fatal("window expired one stage early")
+	}
+	if m.Stats().StaleWindowStages != 1 {
+		t.Errorf("StaleWindowStages = %d, want 1", m.Stats().StaleWindowStages)
+	}
+	m.OnStageStart(3, 3)
+	if m.tableStale(0) {
+		t.Fatal("window never expired")
+	}
+	// Distances are trusted again. At stage 3 near and dead are both
+	// infinite (no reference after the stage about to read near) while
+	// far is still live; make far the LRU block so recency would evict
+	// it, and check the distance walk picks an infinite block instead.
+	mon.OnAdd(far.Block(0))
+	mon.OnAccess(near.Block(0))
+	mon.OnAccess(dead.Block(0)) // order: far is LRU, near, dead MRU
+	if v, _ := mon.Victim(all); v == far.Block(0) {
+		t.Error("post-window victim is the recency choice; distances not restored")
+	}
+}
+
+func TestStaleWindowIsPerNode(t *testing.T) {
+	g, near, _, dead := testGraph(t)
+	m := NewManager(g, NewRecurringProfiler(refdist.FromGraph(g)),
+		Options{ReissueDelayStages: 2})
+	healthy := m.NewNodePolicy(1).(*CacheMonitor)
+	m.OnStageStart(1, 1)
+	m.OnNodeFailure(0)
+
+	if !m.tableStale(0) {
+		t.Error("failed node not stale")
+	}
+	if m.tableStale(1) {
+		t.Error("healthy node marked stale")
+	}
+	// The healthy node's monitor keeps distance-based eviction.
+	healthy.OnAdd(near.Block(1))
+	healthy.OnAdd(dead.Block(1))
+	healthy.OnAccess(dead.Block(1))
+	if v, _ := healthy.Victim(all); v != dead.Block(1) {
+		t.Errorf("healthy node victim = %v, want distance choice", v)
+	}
+}
+
+func TestZeroDelayReissueIsImmediate(t *testing.T) {
+	g, _, _, _ := testGraph(t)
+	m := NewFull(g)
+	m.NewNodePolicy(0)
+	m.OnStageStart(1, 1)
+	m.OnNodeFailure(0)
+	if m.tableStale(0) {
+		t.Error("zero-delay reissue left the node stale")
+	}
+	if m.Stats().TableReissues != 1 {
+		t.Errorf("reissues = %d, want 1", m.Stats().TableReissues)
+	}
+}

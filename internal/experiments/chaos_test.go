@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mrdspark/internal/cluster"
+)
+
+// TestChaosSweepSingleCrash is the acceptance check for the fault
+// subsystem: under a single-node failure MRD's JCT overhead stays
+// finite and bounded for CC, KM and SVD at replication factors 1 and
+// 2, and replication turns lineage recomputation into replica hits.
+func TestChaosSweepSingleCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	rows := ChaosSweep(cluster.Main(), nil, []string{"crash"}, nil)
+	// 3 workloads x 3 policies x 2 replications x (healthy + crash).
+	if len(rows) != 36 {
+		t.Fatalf("rows = %d, want 36", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Run.Jobs == 0 {
+			t.Errorf("%s/%s/%s repl=%d completed no jobs",
+				r.Workload, r.Policy, r.Preset, r.Replication)
+		}
+		if math.IsInf(r.Overhead, 0) || math.IsNaN(r.Overhead) || r.Overhead <= 0 {
+			t.Errorf("%s/%s/%s repl=%d overhead %v not finite",
+				r.Workload, r.Policy, r.Preset, r.Replication, r.Overhead)
+		}
+		if r.Preset == "crash" && r.Overhead > 4 {
+			t.Errorf("%s/%s repl=%d crash overhead %.2f unbounded",
+				r.Workload, r.Policy, r.Replication, r.Overhead)
+		}
+		if r.Policy == "MRD" && r.Preset == "crash" {
+			seen[r.Workload] = true
+			if r.Reissues == 0 {
+				t.Errorf("%s MRD crash run re-issued no tables", r.Workload)
+			}
+			if r.StaleStages == 0 {
+				t.Errorf("%s MRD crash run saw no stale-table window", r.Workload)
+			}
+			if r.Replication == 2 && r.Run.ReplicaHits == 0 {
+				t.Errorf("%s MRD crash at replication 2 hit no replicas", r.Workload)
+			}
+		}
+	}
+	for _, w := range []string{"CC", "KM", "SVD"} {
+		if !seen[w] {
+			t.Errorf("no MRD crash row for %s", w)
+		}
+	}
+
+	out := RenderChaos(rows)
+	for _, want := range []string{"Chaos sweep", "Overhead", "crash", "healthy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestChaosSweepDeterministic: the sweep is seeded end to end, so the
+// same call produces identical rows — the reproducibility contract the
+// chaos suite advertises.
+func TestChaosSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	sweep := func() []ChaosRow {
+		return ChaosSweep(cluster.Main(), []string{"KM"}, []string{"chaos"}, []int{2})
+	}
+	a, b := sweep(), sweep()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

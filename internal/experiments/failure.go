@@ -3,6 +3,7 @@ package experiments
 import (
 	"mrdspark/internal/cluster"
 	"mrdspark/internal/core"
+	"mrdspark/internal/fault"
 	"mrdspark/internal/metrics"
 	"mrdspark/internal/refdist"
 	"mrdspark/internal/sim"
@@ -53,7 +54,9 @@ func FailureSweep(cfg cluster.Config) []FailureRow {
 				panic(err)
 			}
 			if failStage >= 0 {
-				simn.SetOptions(sim.Options{FailNode: 1, FailAtStage: failStage})
+				if err := simn.SetOptions(sim.Options{Fault: fault.Crash(1, failStage)}); err != nil {
+					panic(err)
+				}
 			}
 			run := simn.Run()
 			return run, mgr.Stats().TableReissues

@@ -101,6 +101,9 @@ func Suite() []Experiment {
 		{"failure", "Fault tolerance under node loss (§4.4)", func() string {
 			return RenderFailure(FailureSweep(main()))
 		}},
+		{"chaos", "Chaos schedules, replication and graceful degradation", func() string {
+			return RenderChaos(ChaosSweep(main(), nil, nil, nil))
+		}},
 		{"storage-level", "Restorable vs recompute-on-miss caching", func() string {
 			return RenderStorageLevel(StorageLevelStudy(main()))
 		}},

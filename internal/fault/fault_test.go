@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"mrdspark/internal/block"
+)
+
+func TestValidateAcceptsNilAndZero(t *testing.T) {
+	var s *Schedule
+	if err := s.Validate(4); err != nil {
+		t.Errorf("nil schedule: %v", err)
+	}
+	if err := (&Schedule{}).Validate(4); err != nil {
+		t.Errorf("zero schedule: %v", err)
+	}
+	if !s.Empty() || !(&Schedule{}).Empty() {
+		t.Error("nil/zero schedules should be Empty")
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"rate>=1", Schedule{FetchFailureRate: 1.0}},
+		{"rate<0", Schedule{FetchFailureRate: -0.1}},
+		{"negative retries", Schedule{MaxFetchRetries: -1}},
+		{"negative backoff", Schedule{RetryBackoffUs: -5}},
+		{"replication>nodes", Schedule{Replication: 5}},
+		{"crash node out of range", Schedule{Events: []Event{{Kind: NodeCrash, Node: 4}}}},
+		{"negative stage", Schedule{Events: []Event{{Kind: NodeCrash, Stage: -1}}}},
+		{"negative rejoin", Schedule{Events: []Event{{Kind: NodeCrash, RejoinAfter: -1}}}},
+		{"straggler factor<1", Schedule{Events: []Event{{Kind: Straggler, DiskFactor: 0.5, NetFactor: 1, Duration: 1}}}},
+		{"straggler duration<1", Schedule{Events: []Event{{Kind: Straggler, DiskFactor: 2, NetFactor: 2}}}},
+		{"unknown kind", Schedule{Events: []Event{{Kind: Kind(99)}}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(4); err == nil {
+			t.Errorf("%s: Validate accepted invalid schedule", c.name)
+		}
+	}
+}
+
+func TestCrashMatchesLegacyPair(t *testing.T) {
+	s := Crash(2, 7)
+	if err := s.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 1 {
+		t.Fatalf("Crash built %d events", len(s.Events))
+	}
+	e := s.Events[0]
+	if e.Kind != NodeCrash || e.Node != 2 || e.Stage != 7 || e.RejoinAfter != 0 {
+		t.Errorf("Crash event = %+v", e)
+	}
+	if s.Empty() {
+		t.Error("crash schedule reported Empty")
+	}
+}
+
+func TestNormalizedAccessorsAreNilSafe(t *testing.T) {
+	var s *Schedule
+	if s.ReplicationFactor() != 1 {
+		t.Errorf("nil ReplicationFactor = %d", s.ReplicationFactor())
+	}
+	if s.Retries() != DefaultFetchRetries {
+		t.Errorf("nil Retries = %d", s.Retries())
+	}
+	if s.Backoff() != DefaultRetryBackoffUs {
+		t.Errorf("nil Backoff = %d", s.Backoff())
+	}
+	full := &Schedule{Replication: 3, MaxFetchRetries: 5, RetryBackoffUs: 250}
+	if full.ReplicationFactor() != 3 || full.Retries() != 5 || full.Backoff() != 250 {
+		t.Errorf("explicit accessors = %d/%d/%d",
+			full.ReplicationFactor(), full.Retries(), full.Backoff())
+	}
+}
+
+func TestRNGDeterministicAndSeedSensitive(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	c, d := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("distinct seeds produced %d identical draws", same)
+	}
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestPresetsValidateOnRealisticShapes(t *testing.T) {
+	for _, name := range PresetNames() {
+		for _, shape := range []struct{ nodes, stages int }{{2, 3}, {4, 10}, {25, 60}} {
+			s, err := Preset(name, shape.nodes, shape.stages)
+			if err != nil {
+				t.Errorf("%s on %d nodes/%d stages: %v", name, shape.nodes, shape.stages, err)
+				continue
+			}
+			for _, e := range s.Events {
+				if e.Stage < 1 || e.Stage >= shape.stages {
+					t.Errorf("%s: event %s outside firable range [1,%d)", name, e, shape.stages)
+				}
+			}
+		}
+	}
+	if _, err := Preset("no-such-preset", 4, 10); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := Preset("crash", 0, 10); err == nil {
+		t.Error("zero-node preset accepted")
+	}
+}
+
+func TestEventStringsAreDescriptive(t *testing.T) {
+	ev := Event{Stage: 5, Kind: NodeCrash, Node: 2, RejoinAfter: 3}
+	if s := ev.String(); !strings.Contains(s, "rejoin+3") {
+		t.Errorf("crash-rejoin string %q lacks rejoin window", s)
+	}
+	ev = Event{Stage: 1, Kind: LoseBlock, Block: block.ID{RDD: 4, Partition: 2}}
+	if s := ev.String(); !strings.Contains(s, "lose-block") {
+		t.Errorf("lose-block string %q lacks kind", s)
+	}
+}

@@ -49,6 +49,31 @@ type Run struct {
 	// store occupancy, the natural scale for cache-size sweeps.
 	PeakCacheUsed int64
 
+	// Fault injection and recovery (internal/fault). All zero on a
+	// healthy, unreplicated run.
+	NodeCrashes     int64 // node-crash events fired
+	NodeRejoins     int64 // crashed nodes that rejoined (empty)
+	StragglerEvents int64 // straggler windows opened
+	BlocksLost      int64 // fault-injected single-block losses
+	BlocksCorrupted int64 // corrupt on-disk copies detected at read
+	// Replication: bytes written for replica copies, and misses served
+	// by re-fetching a surviving replica instead of recomputing.
+	ReplicaWriteBytes int64
+	ReplicaHits       int64
+	// Remote-fetch retry model: transient failures retried with
+	// backoff, and fetches abandoned after the retry budget (each
+	// abandoned fetch escalates to lineage recomputation).
+	FetchRetries int64
+	FetchGiveUps int64
+	// RecomputeBytes is the total block bytes rebuilt from lineage —
+	// the recovery work a fault schedule forces onto the run.
+	RecomputeBytes int64
+	// FaultWarning records schedule anomalies — today, events whose
+	// stage index lies beyond the executed stage count and therefore
+	// never fired. Empty on a clean replay. A string (not a slice)
+	// keeps Run comparable with ==.
+	FaultWarning string
+
 	// Device utilization: total busy microseconds summed across every
 	// node's disk and NIC, over the run's full wall time (WallTime ≥
 	// JCT: background write-behind and prefetch I/O may still drain

@@ -6,6 +6,7 @@ import (
 	"mrdspark/internal/block"
 	"mrdspark/internal/core"
 	"mrdspark/internal/dag"
+	"mrdspark/internal/fault"
 	"mrdspark/internal/policy"
 	"mrdspark/internal/refdist"
 )
@@ -149,7 +150,9 @@ func TestNodeFailureRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.SetOptions(Options{FailNode: 0, FailAtStage: 3})
+	if err := s.SetOptions(Options{Fault: fault.Crash(0, 3)}); err != nil {
+		t.Fatal(err)
+	}
 	run := s.Run()
 	if run.Jobs != len(g.Jobs) {
 		t.Errorf("run did not complete all jobs after failure: %d", run.Jobs)
@@ -168,7 +171,9 @@ func TestNodeFailureNotifiesFactory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.SetOptions(Options{FailNode: 1, FailAtStage: 2})
+	if err := s.SetOptions(Options{Fault: fault.Crash(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
 	s.Run()
 	if mgr.Stats().TableReissues != 1 {
 		t.Errorf("table reissues = %d, want 1", mgr.Stats().TableReissues)

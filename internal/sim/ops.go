@@ -22,8 +22,12 @@ func (o clusterOps) Resident(node int, id block.ID) bool {
 	return o.s.nodes[node].mem.Contains(id)
 }
 
+// OnDisk reports restorability without recomputation: a usable local
+// disk copy or, under replication, a surviving replica elsewhere. The
+// manager's prefetch phase therefore re-warms a crashed-and-replaced
+// node from replicas instead of writing the block off.
 func (o clusterOps) OnDisk(node int, id block.ID) bool {
-	return o.s.nodes[node].disk.Has(id)
+	return o.s.restorable(o.s.nodes[node], id)
 }
 
 func (o clusterOps) FreeBytes(node int) int64 { return o.s.nodes[node].mem.Free() }
@@ -49,23 +53,29 @@ func (o clusterOps) Evict(node int, id block.ID) bool {
 	return true
 }
 
-// Prefetch loads the block from the node's local disk at background
-// priority and inserts it into memory on arrival, evicting via the
-// node's policy if space is needed then.
+// Prefetch loads the block at background priority — from the node's
+// local disk, or from a surviving replica when the local copy is gone
+// (a crashed-and-replaced node re-warming) — and inserts it into
+// memory on arrival, evicting via the node's policy if space is
+// needed then.
 func (o clusterOps) Prefetch(node int, info block.Info) {
 	s := o.s
 	n := s.nodes[node]
-	if n.mem.Contains(info.ID) || s.inFlight[info.ID] || !n.disk.Has(info.ID) {
+	if n.down || n.mem.Contains(info.ID) || s.inFlight[info.ID] || !s.restorable(n, info.ID) {
 		return
 	}
 	s.inFlight[info.ID] = true
 	s.run.PrefetchIssued++
 	s.traceEvent("prefetch-issue", node, info.ID)
-	n.diskDev.Transfer(info.Size, Background, func() {
+	arrive := func() {
 		delete(s.inFlight, info.ID)
-		s.run.DiskReadBytes += info.Size
 		s.traceEvent("prefetch-arrive", node, info.ID)
-		if n.mem.Contains(info.ID) {
+		// Aborted arrivals (node crashed mid-flight, block demand-
+		// inserted meanwhile, or the store rejected it) settle the
+		// ledger as wasted so Audit's used+wasted+pending == issued
+		// invariant survives fault schedules.
+		if n.down || n.mem.Contains(info.ID) {
+			s.run.PrefetchWasted++
 			return
 		}
 		// Arbitrated policies (the MRD CacheMonitor) veto arrivals
@@ -83,8 +93,31 @@ func (o clusterOps) Prefetch(node int, info block.Info) {
 		}
 		s.noteEvictions(evicted)
 		s.notePeak()
-		if ok {
-			s.prefetched[info.ID] = true
+		if !ok {
+			s.run.PrefetchWasted++
+			return
 		}
+		s.prefetched[info.ID] = true
+		s.replicate(n, info)
+	}
+	if s.diskHas(n, info.ID) {
+		n.diskDev.Transfer(info.Size, Background, func() {
+			s.run.DiskReadBytes += info.Size
+			arrive()
+		})
+		return
+	}
+	// Replica restore: read the surviving copy's disk, cross the NIC,
+	// land in the home node's memory (and disk, for later promotes).
+	rn, _ := s.findReplica(info.ID)
+	rn.diskDev.Transfer(info.Size, Background, func() {
+		s.run.DiskReadBytes += info.Size
+		n.netDev.Transfer(info.Size, Background, func() {
+			s.run.NetReadBytes += info.Size
+			if !n.down {
+				n.disk.Put(info.ID, info.Size)
+			}
+			arrive()
+		})
 	})
 }

@@ -57,7 +57,15 @@ func (s *Simulation) planStage(st *dag.Stage) []taskWork {
 		w := &works[p]
 		w.computeUs += computeUs
 		w.diskBytes += srcBytes + shufLocal
-		w.netBytes += shufRemote
+		// The task's remote shuffle read crosses the network and is
+		// subject to the fault schedule's fetch-failure model; an
+		// exhausted retry budget is Spark's shuffle-fetch failure —
+		// the missing map outputs are regenerated, charged here as
+		// local recomputation I/O.
+		if shufRemote > 0 && !s.fetchWithRetry(w, shufRemote) {
+			s.run.RecomputeBytes += shufRemote
+			w.diskBytes += shufRemote
+		}
 		if st.Kind == dag.ShuffleMap {
 			w.shuffleWrite = st.Target.PartSize
 			s.run.ShuffleWriteBytes += w.shuffleWrite
@@ -116,10 +124,13 @@ type planCtx struct {
 	resolved map[block.ID]bool
 }
 
-// resolveBlock resolves one read of a cached block: cache hit (free),
-// promote from the home node's disk, or recompute from lineage. Costs
-// are charged to the reader task q mod numTasks; the block's home is
-// node q mod N.
+// resolveBlock resolves one read of a cached block down the recovery
+// ladder: cache hit (free locally, a fetch remotely), promote from the
+// home node's disk, re-fetch from a surviving replica, and finally
+// recompute from lineage. Remote fetches on every rung are subject to
+// the fault schedule's failure rate with bounded retry; an exhausted
+// budget drops to the next rung. Costs are charged to the reader task
+// q mod numTasks; the block's home is node q mod N.
 func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 	id := r.Block(q)
 	if c.resolved == nil {
@@ -132,44 +143,81 @@ func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 
 	s := c.sim
 	home := q % len(s.nodes)
+	hn := s.nodes[home]
 	reader := q % c.numTasks
-	readerNode := reader % len(s.nodes)
+	readerNode := s.execNode(reader).id
 	w := &c.works[reader]
+	// deserUs: reading spilled or replicated bytes back costs CPU too;
+	// Spark deserializes disk bytes into JVM objects (~150 MB/s).
+	deserUs := r.PartSize * 1_000_000 / (150 << 20)
 
 	s.run.StageInputBytes += r.PartSize
-	if s.nodes[home].mem.Get(id) {
+	if hn.mem.Get(id) {
 		s.run.Hits++
 		s.traceEvent("hit", home, id)
 		if s.prefetched[id] {
 			s.run.PrefetchUsed++
 			delete(s.prefetched, id)
 		}
-		// A remote hit still moves bytes over the reader's NIC.
-		if home != readerNode {
-			w.netBytes += r.PartSize
+		// A remote hit still moves bytes over the reader's NIC — and
+		// under a flaky network that fetch can exhaust its retries, in
+		// which case the reader rebuilds the partition locally from
+		// lineage (the cached copy stays resident at home).
+		if home != readerNode && !s.fetchWithRetry(w, r.PartSize) {
+			s.run.RecomputeBytes += r.PartSize
+			s.traceEvent("recompute", readerNode, id)
+			c.chainCost(r, q, w)
 		}
 		return
 	}
 	s.run.Misses++
 
-	if s.nodes[home].disk.Has(id) {
-		s.run.DiskPromotes++
-		s.traceEvent("promote", home, id)
+	// A corrupt home-disk copy is detected at this read and dropped,
+	// pushing the miss down to the replica or lineage rung.
+	if hn.disk.Has(id) && s.corrupt[id] {
+		delete(s.corrupt, id)
+		hn.disk.Remove(id)
+		s.run.BlocksCorrupted++
+		s.traceEvent("corrupt-detect", home, id)
+	}
+
+	if s.diskHas(hn, id) {
+		fetched := true
 		if home == readerNode {
 			w.diskBytes += r.PartSize
 		} else {
-			w.netBytes += r.PartSize
+			fetched = s.fetchWithRetry(w, r.PartSize)
 		}
-		// Reading a spilled block back costs CPU too: Spark
-		// deserializes disk bytes into JVM objects (~150 MB/s).
-		w.computeUs += r.PartSize * 1_000_000 / (150 << 20)
-		w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})
-		return
+		if fetched {
+			s.run.DiskPromotes++
+			s.traceEvent("promote", home, id)
+			w.computeUs += deserUs
+			w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})
+			return
+		}
 	}
 
-	// Lost entirely (MEMORY_ONLY eviction or node failure): recompute
-	// from lineage, then re-cache.
+	// Primary copies gone (eviction, node failure, injected loss):
+	// before paying for lineage, try a surviving replica.
+	if rn, ok := s.findReplica(id); ok {
+		fetched := true
+		if rn.id == readerNode {
+			w.diskBytes += r.PartSize
+		} else {
+			fetched = s.fetchWithRetry(w, r.PartSize)
+		}
+		if fetched {
+			s.run.ReplicaHits++
+			s.traceEvent("replica-hit", rn.id, id)
+			w.computeUs += deserUs
+			w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})
+			return
+		}
+	}
+
+	// Last rung: recompute from lineage, then re-cache.
 	s.run.Recomputes++
+	s.run.RecomputeBytes += r.PartSize
 	s.traceEvent("recompute", home, id)
 	c.chainCost(r, q, w)
 	w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})

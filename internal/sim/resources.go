@@ -71,6 +71,9 @@ type Device struct {
 	busy        bool
 	demand      []ioReq
 	background  []ioReq
+	// slow multiplies service times (>= 1); fault injection uses it to
+	// model transient stragglers (a degraded disk or congested NIC).
+	slow float64
 
 	// Busy accumulates total service time, for utilization metrics.
 	Busy int64
@@ -79,8 +82,21 @@ type Device struct {
 // NewDevice creates a device with the given bandwidth in bytes per
 // second of simulated time.
 func NewDevice(eng *Engine, bytesPerSec int64) *Device {
-	return &Device{eng: eng, bytesPerSec: bytesPerSec}
+	return &Device{eng: eng, bytesPerSec: bytesPerSec, slow: 1}
 }
+
+// SetSlowdown sets the service-time multiplier; factors below 1 are
+// clamped to 1 (the device never speeds up past its bandwidth). It
+// affects requests entering service from now on, not one in flight.
+func (d *Device) SetSlowdown(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	d.slow = f
+}
+
+// Slowdown returns the current service-time multiplier.
+func (d *Device) Slowdown() float64 { return d.slow }
 
 // Transfer enqueues a request for the given byte count; done fires
 // when the transfer completes. Zero-byte requests complete in a fresh
@@ -116,6 +132,9 @@ func (d *Device) serve() {
 	}
 	d.busy = true
 	dur := req.bytes * 1_000_000 / d.bytesPerSec
+	if d.slow > 1 {
+		dur = int64(float64(dur) * d.slow)
+	}
 	if dur < 1 {
 		dur = 1
 	}

@@ -6,21 +6,24 @@ import (
 	"mrdspark/internal/block"
 	"mrdspark/internal/cluster"
 	"mrdspark/internal/dag"
+	"mrdspark/internal/fault"
 	"mrdspark/internal/metrics"
 	"mrdspark/internal/policy"
 )
 
 // Options tunes a simulation beyond the cluster config.
 type Options struct {
-	// FailNode, when >= 0, clears that node (memory, disk and local
-	// policy state) just before the FailAtStage-th executed stage, to
-	// exercise the fault-tolerance path of §4.4.
-	FailNode    int
-	FailAtStage int
+	// Fault is the fault-injection and recovery schedule: node crashes
+	// (with optional rejoin), stragglers, block loss/corruption, flaky
+	// remote fetches with bounded retry, and the replication factor
+	// for cached and shuffle blocks. nil injects nothing. It replaces
+	// the old single FailNode/FailAtStage pair (see fault.Crash for
+	// the equivalent one-event schedule).
+	Fault *fault.Schedule
 }
 
-// DefaultOptions returns options with failure injection disabled.
-func DefaultOptions() Options { return Options{FailNode: -1} }
+// DefaultOptions returns options with fault injection disabled.
+func DefaultOptions() Options { return Options{} }
 
 // node bundles one worker's stores and device queues.
 type node struct {
@@ -31,6 +34,13 @@ type node struct {
 	cpu     *Slots
 	diskDev *Device
 	netDev  *Device
+
+	// down marks a crashed node that has not yet rejoined: it runs no
+	// tasks and accepts no inserts until rejoinAt.
+	down     bool
+	rejoinAt int // stageIx at which the node rejoins (valid while down)
+	// slowUntil ends the node's current straggler window (0 = none).
+	slowUntil int
 }
 
 // Simulation executes one application DAG on one simulated cluster
@@ -53,6 +63,13 @@ type Simulation struct {
 	prefetched map[block.ID]bool
 	// inFlight guards against duplicate prefetch orders for a block.
 	inFlight map[block.ID]bool
+	// corrupt marks blocks whose home-node disk copy has rotted (fault
+	// injection); detection happens at the next demand read.
+	corrupt map[block.ID]bool
+	// faultsAt indexes the schedule's events by executed-stage index.
+	faultsAt map[int][]fault.Event
+	// frng draws the remote-fetch failure stream (seeded, splitmix64).
+	frng *fault.RNG
 
 	finish   int64
 	stageIx  int // count of executed stages, for failure injection
@@ -80,6 +97,8 @@ func New(g *dag.Graph, cfg cluster.Config, factory policy.Factory, workload stri
 		created:    map[int]bool{},
 		prefetched: map[block.ID]bool{},
 		inFlight:   map[block.ID]bool{},
+		corrupt:    map[block.ID]bool{},
+		faultsAt:   map[int][]fault.Event{},
 	}
 	s.run.Workload = workload
 	s.run.Policy = factory.Name()
@@ -101,8 +120,27 @@ func New(g *dag.Graph, cfg cluster.Config, factory policy.Factory, workload stri
 	return s, nil
 }
 
-// SetOptions replaces the simulation options (before Run).
-func (s *Simulation) SetOptions(o Options) { s.opts = o }
+// SetOptions replaces the simulation options (before Run), validating
+// the fault schedule against the cluster. The per-stage event index
+// and the seeded fetch-failure RNG are rebuilt here so two simulations
+// given equal schedules replay identically.
+func (s *Simulation) SetOptions(o Options) error {
+	if s.ran {
+		return fmt.Errorf("sim: SetOptions after Run")
+	}
+	if err := o.Fault.Validate(len(s.nodes)); err != nil {
+		return err
+	}
+	s.opts = o
+	s.faultsAt = map[int][]fault.Event{}
+	if o.Fault != nil {
+		for _, ev := range o.Fault.Events {
+			s.faultsAt[ev.Stage] = append(s.faultsAt[ev.Stage], ev)
+		}
+		s.frng = fault.NewRNG(o.Fault.Seed)
+	}
+	return nil
+}
 
 // Run executes the application to completion and returns its metrics.
 // A Simulation is single-use.
@@ -114,6 +152,7 @@ func (s *Simulation) Run() metrics.Run {
 	s.eng.After(0, func() { s.startJob(0) })
 	s.run.WallTime = s.eng.Run()
 	s.run.JCT = s.finish
+	s.noteUnfiredFaults()
 	for _, n := range s.nodes {
 		s.run.DiskBusy += n.diskDev.Busy
 		s.run.NetBusy += n.netDev.Busy
@@ -128,13 +167,15 @@ func (s *Simulation) Timeline() []metrics.StageSpan { return s.timeline }
 // NodeStats is one worker's view of the run, for locality and balance
 // analysis.
 type NodeStats struct {
-	Node        int
-	CacheUsed   int64 // bytes resident at the end
-	CacheBlocks int
-	DiskBlocks  int
-	DiskBusy    int64 // µs
-	NetBusy     int64 // µs
-	Evictions   int64
+	Node          int
+	CacheUsed     int64 // bytes resident at the end
+	CacheBlocks   int
+	DiskBlocks    int
+	ReplicaBlocks int   // replica copies held for blocks homed elsewhere
+	DiskBusy      int64 // µs
+	NetBusy       int64 // µs
+	Evictions     int64
+	Down          bool // still down (crashed, never rejoined) at the end
 }
 
 // PerNode returns each worker's statistics after the run.
@@ -142,13 +183,15 @@ func (s *Simulation) PerNode() []NodeStats {
 	out := make([]NodeStats, len(s.nodes))
 	for i, n := range s.nodes {
 		out[i] = NodeStats{
-			Node:        i,
-			CacheUsed:   n.mem.Used(),
-			CacheBlocks: n.mem.Len(),
-			DiskBlocks:  n.disk.Len(),
-			DiskBusy:    n.diskDev.Busy,
-			NetBusy:     n.netDev.Busy,
-			Evictions:   n.mem.Evictions,
+			Node:          i,
+			CacheUsed:     n.mem.Used(),
+			CacheBlocks:   n.mem.Len(),
+			DiskBlocks:    n.disk.Len(),
+			ReplicaBlocks: n.disk.ReplicaLen(),
+			DiskBusy:      n.diskDev.Busy,
+			NetBusy:       n.netDev.Busy,
+			Evictions:     n.mem.Evictions,
+			Down:          n.down,
 		}
 	}
 	return out
@@ -214,7 +257,7 @@ func (s *Simulation) startStage(job *dag.Job, k int, done func()) {
 		return
 	}
 	st := job.NewStages[k]
-	s.maybeFail()
+	s.applyFaults()
 	s.stageIx++
 	if so, ok := s.factory.(policy.StageObserver); ok {
 		so.OnStageStart(st.ID, job.ID)
@@ -230,24 +273,6 @@ func (s *Simulation) startStage(job *dag.Job, k int, done func()) {
 		s.timeline = append(s.timeline, span)
 		s.startStage(job, k+1, done)
 	})
-}
-
-// maybeFail injects the configured node failure just before the target
-// stage: the node loses memory, disk and policy state, and the factory
-// is told so it can re-issue whatever distributed state it maintains.
-func (s *Simulation) maybeFail() {
-	if s.opts.FailNode < 0 || s.opts.FailNode >= len(s.nodes) || s.stageIx != s.opts.FailAtStage {
-		return
-	}
-	n := s.nodes[s.opts.FailNode]
-	s.traceEvent("node-fail", n.id, block.ID{})
-	n.mem.Clear()
-	n.disk.Clear()
-	n.pol = s.factory.NewNodePolicy(n.id)
-	n.mem = cluster.NewMemoryStore(s.cfg.CacheBytes, n.pol)
-	if fo, ok := s.factory.(policy.NodeFailureObserver); ok {
-		fo.OnNodeFailure(n.id)
-	}
 }
 
 // taskWork is everything one task does: demand disk I/O, demand
@@ -272,7 +297,7 @@ func (s *Simulation) execStage(st *dag.Stage, done func()) {
 	for p := range works {
 		p := p
 		w := works[p]
-		n := s.nodes[p%len(s.nodes)]
+		n := s.execNode(p)
 		n.cpu.Acquire(func() {
 			s.runTask(n, w, func() {
 				n.cpu.Release()
@@ -307,17 +332,27 @@ func (s *Simulation) runTask(n *node, w taskWork, done func()) {
 // insertBlock places a newly materialized (or promoted) block into its
 // home node's memory store, spilling a write-behind disk copy for
 // MEMORY_AND_DISK blocks so later misses and prefetches can read it
-// back without recomputation.
+// back without recomputation. Under replication, R-1 replica copies
+// are shipped to the next nodes' disks at background priority. While
+// the home node is down (crashed, awaiting rejoin) the insert is
+// dropped: the block stays uncached and later references recompute it.
 func (s *Simulation) insertBlock(ins insert) {
 	n := s.nodes[ins.node]
-	if ins.info.Level == block.MemoryAndDisk && !n.disk.Has(ins.info.ID) {
+	if n.down {
+		return
+	}
+	if ins.info.Level == block.MemoryAndDisk && !s.diskHas(n, ins.info.ID) {
 		n.disk.Put(ins.info.ID, ins.info.Size)
+		delete(s.corrupt, ins.info.ID)
 		s.run.DiskWriteBytes += ins.info.Size
 		n.diskDev.Transfer(ins.info.Size, Background, func() {})
 	}
-	evicted, _ := n.mem.Put(ins.info)
+	evicted, ok := n.mem.Put(ins.info)
 	s.traceEvent("insert", ins.node, ins.info.ID)
 	s.noteEvictions(evicted)
+	if ok {
+		s.replicate(n, ins.info)
+	}
 	s.notePeak()
 }
 

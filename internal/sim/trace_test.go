@@ -8,6 +8,7 @@ import (
 
 	"mrdspark/internal/block"
 	"mrdspark/internal/core"
+	"mrdspark/internal/fault"
 	"mrdspark/internal/policy"
 )
 
@@ -93,7 +94,9 @@ func TestTraceFailureEvent(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.EnableTrace()
-	s.SetOptions(Options{FailNode: 1, FailAtStage: 2})
+	if err := s.SetOptions(Options{Fault: fault.Crash(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
 	s.Run()
 	for _, ev := range s.Trace() {
 		if ev.Kind == "node-fail" && ev.Node == 1 {

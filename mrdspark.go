@@ -32,6 +32,7 @@ import (
 	"mrdspark/internal/cluster"
 	"mrdspark/internal/core"
 	"mrdspark/internal/dag"
+	"mrdspark/internal/fault"
 	"mrdspark/internal/metrics"
 	"mrdspark/internal/policy"
 	"mrdspark/internal/refdist"
@@ -62,7 +63,25 @@ type (
 	WorkloadSpec = workload.Spec
 	// MRDOptions configures the MRD policy variants.
 	MRDOptions = core.Options
+	// FaultSchedule is a deterministic fault-injection schedule: node
+	// crashes (with optional rejoin), stragglers, lost or corrupt
+	// blocks, flaky fetches, and the replication factor that bounds
+	// their blast radius.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = fault.Event
 )
+
+// FaultPresets returns the named chaos-schedule presets ("healthy",
+// "crash", "crash-rejoin", "rolling", "stragglers", "flaky-fetch",
+// "chaos").
+func FaultPresets() []string { return fault.PresetNames() }
+
+// FaultPreset instantiates a named preset for a cluster of the given
+// node count and an application with the given executed-stage count.
+func FaultPreset(name string, nodes, stages int) (*FaultSchedule, error) {
+	return fault.Preset(name, nodes, stages)
+}
 
 // MainCluster returns the paper's 25-node main testbed (Table 4).
 func MainCluster() ClusterConfig { return cluster.Main() }
@@ -113,11 +132,28 @@ type Config struct {
 	// AdHoc makes DAG-aware policies (MRD, LRC) learn the DAG one job
 	// at a time instead of starting from a recurring profile.
 	AdHoc bool
-	// FailNode injects a worker failure before executed stage
+	// Fault is a full fault-injection schedule (crashes, stragglers,
+	// lost/corrupt blocks, flaky fetches, replication). Build one
+	// directly or via FaultPreset. Takes precedence over FailNode.
+	Fault *FaultSchedule
+	// FailNode injects a single worker failure before executed stage
 	// FailAtStage when >= 1 (node index FailNode-1), exercising the
-	// §4.4 fault-tolerance path.
+	// §4.4 fault-tolerance path. Shorthand for a one-crash Fault
+	// schedule; kept for backward compatibility.
 	FailNode    int
 	FailAtStage int
+}
+
+// faultSchedule resolves the Config's fault configuration: an explicit
+// schedule wins, then the legacy single-crash shorthand, else none.
+func (cfg Config) faultSchedule() *FaultSchedule {
+	if cfg.Fault != nil {
+		return cfg.Fault
+	}
+	if cfg.FailNode >= 1 {
+		return fault.Crash(cfg.FailNode-1, cfg.FailAtStage)
+	}
+	return nil
 }
 
 // Policies returns the available policy names.
@@ -213,8 +249,10 @@ func RunGraph(g *Graph, name string, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if cfg.FailNode >= 1 {
-		s.SetOptions(sim.Options{FailNode: cfg.FailNode - 1, FailAtStage: cfg.FailAtStage})
+	if f := cfg.faultSchedule(); f != nil {
+		if err := s.SetOptions(sim.Options{Fault: f}); err != nil {
+			return Result{}, err
+		}
 	}
 	return s.Run(), nil
 }
@@ -259,8 +297,10 @@ func RunTraced(cfg Config, trace io.Writer) (Result, []StageSpan, error) {
 	if err != nil {
 		return Result{}, nil, err
 	}
-	if cfg.FailNode >= 1 {
-		s.SetOptions(sim.Options{FailNode: cfg.FailNode - 1, FailAtStage: cfg.FailAtStage})
+	if f := cfg.faultSchedule(); f != nil {
+		if err := s.SetOptions(sim.Options{Fault: f}); err != nil {
+			return Result{}, nil, err
+		}
 	}
 	if trace != nil {
 		s.EnableTrace()
