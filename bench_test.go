@@ -19,6 +19,7 @@ import (
 	"mrdspark/internal/core"
 	"mrdspark/internal/dag"
 	"mrdspark/internal/experiments"
+	"mrdspark/internal/obs"
 	"mrdspark/internal/policy"
 	"mrdspark/internal/refdist"
 	"mrdspark/internal/sim"
@@ -317,4 +318,43 @@ func BenchmarkEngine(b *testing.B) {
 	b.ResetTimer()
 	e.After(1, tick)
 	e.Run()
+}
+
+// BenchmarkObsEmitDisabled is the acceptance guard for the event bus:
+// with no subscribers (the default — nothing called EnableTrace or
+// Observe), Emit on the hot path must cost two compares and zero
+// allocations. A regression here taxes every simulated cache access.
+func BenchmarkObsEmitDisabled(b *testing.B) {
+	bus := obs.New()
+	ev := obs.BlockEv(obs.KindHit, 3, block.ID{RDD: 7, Partition: 9}, 4096).
+		WithValue(12).WithVerdict("mrd")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Emit(ev)
+	}
+	if n := testing.AllocsPerRun(1000, func() { bus.Emit(ev) }); n != 0 {
+		b.Fatalf("disabled Emit allocates %.1f per call", n)
+	}
+}
+
+// BenchmarkSimulateSCCObserved is BenchmarkSimulateSCC with the full
+// observability pipeline attached (recorder + streaming aggregator);
+// the delta to the plain benchmark is the cost of observing a run.
+func BenchmarkSimulateSCCObserved(b *testing.B) {
+	cfg := cluster.Main().WithCache(160 << 20)
+	for i := 0; i < b.N; i++ {
+		spec, _ := workload.Build("SCC", workload.Params{})
+		mgr := core.NewManager(spec.Graph,
+			core.NewRecurringProfiler(refdist.FromGraph(spec.Graph)), core.Options{})
+		s, err := sim.New(spec.Graph, cfg, mgr, "SCC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.EnableTrace()
+		agg := s.Observe()
+		s.Run()
+		if len(agg.StageStats()) == 0 {
+			b.Fatal("no stages observed")
+		}
+	}
 }

@@ -1,0 +1,92 @@
+// Command mrdreport renders run artifacts offline from a recorded
+// JSONL event trace (mrdsim -trace): the same self-contained HTML
+// report and Prometheus exposition mrdsim produces live, recovered by
+// replaying the trace through the streaming aggregator. Headline
+// counters that never enter the event stream (I/O byte volumes, wall
+// time) are absent in replayed reports.
+//
+// Usage:
+//
+//	mrdsim -workload SCC -trace trace.jsonl
+//	mrdreport -trace trace.jsonl -o report.html
+//	mrdreport -trace trace.jsonl -prom metrics.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"flag"
+
+	"mrdspark/internal/obs"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "JSONL event trace to replay (required; - for stdin)")
+	out := flag.String("o", "", "write the HTML report to this file (- for stdout)")
+	promFile := flag.String("prom", "", "write the Prometheus text exposition to this file")
+	title := flag.String("title", "replayed trace", "report title (the trace does not carry workload/policy names)")
+	flag.Parse()
+
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "mrdreport: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out == "" && *promFile == "" {
+		*out = "-"
+	}
+
+	var in io.Reader = os.Stdin
+	if *traceFile != "-" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrdreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := obs.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrdreport:", err)
+		os.Exit(1)
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "mrdreport: trace is empty")
+		os.Exit(1)
+	}
+	agg := obs.Replay(events)
+
+	if *promFile != "" {
+		if err := writeTo(*promFile, func(w io.Writer) error { return obs.WritePrometheus(w, agg) }); err != nil {
+			fmt.Fprintln(os.Stderr, "mrdreport:", err)
+			os.Exit(1)
+		}
+	}
+	if *out != "" {
+		rep := agg.Report(agg.SynthesizeRun(*title, ""))
+		rep.Title = *title
+		if err := writeTo(*out, rep.WriteHTML); err != nil {
+			fmt.Fprintln(os.Stderr, "mrdreport:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTo streams fn's output into path, or stdout for "-".
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -7,6 +7,7 @@
 //	mrdsim -workload PR -policy MRD -cache 128M
 //	mrdsim -workload SCC -policy LRU -cluster lrc
 //	mrdsim -workload KM -policy MRD -adhoc -iterations 27
+//	mrdsim -workload SCC -report out.html -trace trace.jsonl -prom metrics.txt
 //	mrdsim -list
 package main
 
@@ -39,6 +40,9 @@ func main() {
 	reissueDelay := flag.Int("reissuedelay", 0, "stages the MRD_Table re-issue takes to propagate after a crash")
 	stages := flag.Bool("stages", false, "print the per-stage execution timeline")
 	traceFile := flag.String("trace", "", "write a JSONL event trace (hits, evictions, prefetches) to this file")
+	reportFile := flag.String("report", "", "write a self-contained HTML run report to this file")
+	promFile := flag.String("prom", "", "write per-stage/per-node metrics in Prometheus text format to this file")
+	baseline := flag.String("baseline", "LRU", "comma-separated baseline policies for the report's comparison table (with -report)")
 	list := flag.Bool("list", false, "list workloads and policies and exit")
 	flag.Parse()
 
@@ -121,10 +125,58 @@ func main() {
 		defer f.Close()
 		trace = f
 	}
-	run, timeline, err := mrdspark.RunTraced(cfg, trace)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mrdsim:", err)
-		os.Exit(1)
+
+	var run mrdspark.Result
+	var timeline []mrdspark.StageSpan
+	if *reportFile != "" || *promFile != "" {
+		// Observed path: the event bus feeds the aggregator that backs
+		// the HTML report and the Prometheus exposition.
+		o, err := mrdspark.RunObserved(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrdsim:", err)
+			os.Exit(1)
+		}
+		run, timeline = o.Run, o.Timeline
+		if trace != nil {
+			if err := o.WriteTrace(trace); err != nil {
+				fmt.Fprintln(os.Stderr, "mrdsim:", err)
+				os.Exit(1)
+			}
+		}
+		if *promFile != "" {
+			if err := writeTo(*promFile, o.WritePrometheus); err != nil {
+				fmt.Fprintln(os.Stderr, "mrdsim:", err)
+				os.Exit(1)
+			}
+		}
+		if *reportFile != "" {
+			rep := o.Report()
+			for _, b := range strings.Split(*baseline, ",") {
+				b = strings.TrimSpace(b)
+				if b == "" || b == cfg.Policy {
+					continue
+				}
+				bcfg := cfg
+				bcfg.Policy = b
+				brun, err := mrdspark.Run(bcfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "mrdsim: baseline:", err)
+					os.Exit(1)
+				}
+				rep.AddBaseline(brun)
+			}
+			if err := writeTo(*reportFile, rep.WriteHTML); err != nil {
+				fmt.Fprintln(os.Stderr, "mrdsim:", err)
+				os.Exit(1)
+			}
+		}
+	} else {
+		var err error
+		run, timeline, err = mrdspark.RunTraced(cfg, trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrdsim:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("workload:        %s on %s (%d nodes, %s cache/node)\n",
 		run.Workload, cfg.Cluster.Name, cfg.Cluster.Nodes, *cache)
@@ -170,6 +222,19 @@ func main() {
 }
 
 func mb(b int64) string { return fmt.Sprintf("%.1fMB", float64(b)/(1<<20)) }
+
+// writeTo creates the file and streams fn's output into it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // parseBytes parses sizes like 512M, 1G, 64K or plain byte counts.
 func parseBytes(s string) (int64, error) {

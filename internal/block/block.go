@@ -18,6 +18,16 @@ func (id ID) String() string {
 	return fmt.Sprintf("rdd_%d_%d", id.RDD, id.Partition)
 }
 
+// ParseID parses the canonical rdd_<rddID>_<partition> block name back
+// into an ID — the inverse of String, used when replaying traces.
+func ParseID(s string) (ID, error) {
+	var id ID
+	if _, err := fmt.Sscanf(s, "rdd_%d_%d", &id.RDD, &id.Partition); err != nil {
+		return ID{}, fmt.Errorf("block: bad block name %q: %v", s, err)
+	}
+	return id, nil
+}
+
 // Less orders IDs first by RDD, then by partition. It provides the
 // deterministic tiebreak order used by policies and tests.
 func (id ID) Less(other ID) bool {

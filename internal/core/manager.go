@@ -6,6 +6,7 @@ import (
 
 	"mrdspark/internal/block"
 	"mrdspark/internal/dag"
+	"mrdspark/internal/obs"
 	"mrdspark/internal/policy"
 	"mrdspark/internal/refdist"
 )
@@ -139,6 +140,7 @@ type Manager struct {
 	monitors  map[int]*CacheMonitor
 	stats     Stats
 	threshold *thresholdController
+	bus       *obs.Bus // nil until attached; Emit on nil is a no-op
 
 	// stageEpoch counts OnStageStart calls; staleUntil[node] is the
 	// last epoch at which that node's monitor still lacks the re-issued
@@ -191,6 +193,11 @@ func (m *Manager) Profiler() *AppProfiler { return m.profiler }
 
 // Attach implements policy.ClusterAware.
 func (m *Manager) Attach(ops policy.ClusterOps) { m.ops = ops }
+
+// AttachBus implements obs.Attacher: the manager emits its policy
+// decisions — purge orders, prefetch orders, table re-issues, eviction
+// verdicts — onto the run's event bus.
+func (m *Manager) AttachBus(b *obs.Bus) { m.bus = b }
 
 // NewNodePolicy implements policy.Factory: it deploys a CacheMonitor
 // on the worker node. With eviction disabled the monitor degrades to
@@ -257,6 +264,8 @@ func (m *Manager) Threshold() (value float64, adjustments int) {
 // stale and falls back to recency eviction (see CacheMonitor.Victim).
 func (m *Manager) OnNodeFailure(node int) {
 	m.stats.TableReissues++
+	m.bus.Emit(obs.Ev(obs.KindTableReissue, node).
+		WithValue(int64(m.opts.ReissueDelayStages)))
 	if mon, ok := m.monitors[node]; ok {
 		mon.reset()
 	}
@@ -335,7 +344,7 @@ func (m *Manager) purgeInfinite() {
 		}
 	}
 	sort.Ints(ordered)
-	issued := false
+	purged := 0
 	for _, rddID := range ordered {
 		r := m.graph.RDDs[rddID]
 		for p := 0; p < r.NumPartitions; p++ {
@@ -343,12 +352,13 @@ func (m *Manager) purgeInfinite() {
 			node := m.ops.HomeNode(id)
 			if m.ops.Resident(node, id) && m.ops.Evict(node, id) {
 				m.stats.PurgedBlocks++
-				issued = true
+				purged++
 			}
 		}
 	}
-	if issued {
+	if purged > 0 {
 		m.stats.PurgeOrders++
+		m.bus.Emit(obs.Ev(obs.KindPurgeOrder, obs.ClusterScope).WithValue(int64(purged)))
 	}
 }
 
@@ -410,6 +420,8 @@ func (m *Manager) prefetch() {
 			}
 			switch {
 			case c.info.Size <= free:
+				m.bus.Emit(obs.BlockEv(obs.KindPrefetchOrder, node, c.info.ID, c.info.Size).
+					WithValue(int64(c.dist)).WithVerdict("fits"))
 				m.ops.Prefetch(node, c.info)
 				m.stats.PrefetchOrders++
 				free -= c.info.Size
@@ -420,6 +432,8 @@ func (m *Manager) prefetch() {
 				if m.opts.PrefetchDistanceCheck && !m.worthForcing(node, c.dist) {
 					continue
 				}
+				m.bus.Emit(obs.BlockEv(obs.KindPrefetchOrder, node, c.info.ID, c.info.Size).
+					WithValue(int64(c.dist)).WithVerdict("forced"))
 				m.ops.Prefetch(node, c.info)
 				m.stats.PrefetchOrders++
 				m.stats.ForcedPrefetch++

@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"mrdspark/internal/block"
+	"mrdspark/internal/obs"
 	"mrdspark/internal/refdist"
 )
 
@@ -81,6 +82,12 @@ func (c *CacheMonitor) Victim(evictable func(id block.ID) bool) (block.ID, bool)
 		for e := c.order.Back(); e != nil; e = e.Prev() {
 			id := e.Value.(block.ID)
 			if evictable(id) {
+				if stale {
+					c.mgr.bus.Emit(obs.BlockEv(obs.KindStaleFallback, c.node, id, 0))
+				} else {
+					c.mgr.bus.Emit(obs.BlockEv(obs.KindEvictVerdict, c.node, id, 0).
+						WithVerdict("lru"))
+				}
 				return id, true
 			}
 		}
@@ -114,6 +121,10 @@ func (c *CacheMonitor) Victim(evictable func(id block.ID) bool) (block.ID, bool)
 			// LRU-first walk already fixed the tiebreak.
 			break
 		}
+	}
+	if found {
+		c.mgr.bus.Emit(obs.BlockEv(obs.KindEvictVerdict, c.node, best, 0).
+			WithValue(int64(bestDist)).WithVerdict("mrd"))
 	}
 	return best, found
 }

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/metrics"
+	"mrdspark/internal/obs"
+	"mrdspark/internal/sim"
+	"mrdspark/internal/workload"
+)
+
+// StageBreakdown localizes where MRD's advantage comes from: the same
+// workload is run under MRD and LRU with the observability aggregator
+// attached, and each executed stage is compared side by side — cache
+// outcomes and stage duration. The aggregate JCT ratios elsewhere say
+// MRD wins; this table says in which stages.
+type StageBreakdown struct {
+	Workload string
+	// Rows pair stage executions by position (both policies execute the
+	// identical stage sequence — the DAG drives the schedule).
+	Rows []StageBreakdownRow
+	// EvictDistance is MRD's eviction-verdict reference-distance
+	// histogram for the run — how far from reuse the victims were.
+	EvictDistance *metrics.Histogram
+	// PrefetchLead is MRD's prefetch issue→first-use lead-time
+	// histogram.
+	PrefetchLead *metrics.Histogram
+}
+
+// StageBreakdownRow is one executed stage under both policies.
+type StageBreakdownRow struct {
+	MRD metrics.StageStats
+	LRU metrics.StageStats
+}
+
+// runObserved is runOne with the event-bus aggregator attached.
+func runObserved(spec *workload.Spec, cfg cluster.Config, p PolicySpec) (metrics.Run, *obs.Aggregator) {
+	s, err := sim.New(spec.Graph, cfg, p.Factory(spec), spec.Name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s on %s: %v", p.Name(), spec.Name, err))
+	}
+	agg := s.Observe()
+	run := s.Run()
+	run.Policy = p.Name()
+	return run, agg
+}
+
+// StageBreakdownStudy runs the workload at the given working-set cache
+// fraction under MRD and LRU and pairs their per-stage aggregates.
+func StageBreakdownStudy(cfg cluster.Config, name string, frac float64) StageBreakdown {
+	spec, err := workload.Build(name, workload.Params{})
+	if err != nil {
+		panic(err)
+	}
+	ws := workingSet(spec, cfg)
+	c := cfg.WithCache(cacheForFraction(spec, ws, frac, cfg))
+
+	_, mrdAgg := runObserved(spec, c, SpecMRD)
+	_, lruAgg := runObserved(spec, c, SpecLRU)
+
+	out := StageBreakdown{
+		Workload:      name,
+		EvictDistance: mrdAgg.EvictDistance,
+		PrefetchLead:  mrdAgg.PrefetchLead,
+	}
+	mrd, lru := mrdAgg.StageStats(), lruAgg.StageStats()
+	n := len(mrd)
+	if len(lru) < n {
+		n = len(lru)
+	}
+	for i := 0; i < n; i++ {
+		out.Rows = append(out.Rows, StageBreakdownRow{MRD: mrd[i], LRU: lru[i]})
+	}
+	return out
+}
+
+// RenderStageBreakdown formats the per-stage comparison table.
+func RenderStageBreakdown(b StageBreakdown) string {
+	t := Table{
+		Title: fmt.Sprintf("Per-stage breakdown on %s: MRD vs LRU (same stage sequence, paired by execution order)", b.Workload),
+		Header: []string{"Stage", "Job", "Kind", "Tasks",
+			"MRD dur", "LRU dur", "Δdur",
+			"MRD hit/miss", "LRU hit/miss", "MRD pf-used", "MRD purge", "LRU evict"},
+	}
+	var mrdTotal, lruTotal int64
+	for _, r := range b.Rows {
+		md, ld := r.MRD.DurationUs(), r.LRU.DurationUs()
+		mrdTotal += md
+		lruTotal += ld
+		delta := "="
+		if ld > 0 {
+			delta = fmt.Sprintf("%+.0f%%", 100*float64(md-ld)/float64(ld))
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(r.MRD.StageID), itoa(r.MRD.JobID), r.MRD.Kind, itoa(r.MRD.Tasks),
+			ms(md), ms(ld), delta,
+			fmt.Sprintf("%d/%d", r.MRD.Hits, r.MRD.Misses),
+			fmt.Sprintf("%d/%d", r.LRU.Hits, r.LRU.Misses),
+			fmt.Sprint(r.MRD.PrefetchUsed),
+			fmt.Sprint(r.MRD.Purged),
+			fmt.Sprint(r.LRU.Evictions),
+		})
+	}
+	t.Note = fmt.Sprintf("Summed stage time: MRD %s vs LRU %s.", ms(mrdTotal), ms(lruTotal))
+	s := t.Render()
+	if b.EvictDistance.Count > 0 {
+		s += "\n" + b.EvictDistance.String()
+	}
+	if b.PrefetchLead.Count > 0 {
+		s += "\n" + b.PrefetchLead.String()
+	}
+	return s
+}
+
+// ms renders simulated microseconds as milliseconds.
+func ms(us int64) string { return fmt.Sprintf("%.0fms", float64(us)/1000) }

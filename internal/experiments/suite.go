@@ -104,6 +104,9 @@ func Suite() []Experiment {
 		{"chaos", "Chaos schedules, replication and graceful degradation", func() string {
 			return RenderChaos(ChaosSweep(main(), nil, nil, nil))
 		}},
+		{"stages", "Per-stage breakdown of MRD's win over LRU (event-bus aggregates)", func() string {
+			return RenderStageBreakdown(StageBreakdownStudy(main(), "SCC", 0.4))
+		}},
 		{"storage-level", "Restorable vs recompute-on-miss caching", func() string {
 			return RenderStorageLevel(StorageLevelStudy(main()))
 		}},

@@ -20,6 +20,12 @@ type VarianceRow struct {
 	MeanJCT, MinJCT, MaxJCT float64
 	StdDev                  float64
 	MeanLRUHit, MeanMRDHit  float64
+	// MRDJCTSigma is the population stddev of the MRD runs' absolute
+	// JCTs in µs — how much the perturbed instances themselves spread,
+	// as opposed to StdDev, which spreads the MRD/LRU ratio.
+	MRDJCTSigma float64
+	// MRDPrefetchAcc is the mean prefetch accuracy across the MRD runs.
+	MRDPrefetchAcc float64
 }
 
 // Variance runs the given workloads over `seeds` perturbed instances
@@ -78,7 +84,10 @@ func Variance(cfg cluster.Config, names []string, seeds int) []VarianceRow {
 		}
 		row.StdDev = math.Sqrt(ss / float64(len(ratios)))
 		row.MeanLRUHit = metrics.Aggregate(lruRuns).MeanHit
-		row.MeanMRDHit = metrics.Aggregate(mrdRuns).MeanHit
+		mrdSum := metrics.Aggregate(mrdRuns)
+		row.MeanMRDHit = mrdSum.MeanHit
+		row.MRDJCTSigma = mrdSum.StdDevJCT
+		row.MRDPrefetchAcc = mrdSum.MeanPrefetchAcc
 		rows[i] = row
 	})
 	return rows
@@ -89,12 +98,13 @@ func RenderVariance(rows []VarianceRow) string {
 	t := Table{
 		Title: "Multi-seed robustness: MRD vs LRU over perturbed recurring runs (±10% data/cost jitter)",
 		Header: []string{"Workload", "Seeds", "MeanJCT", "Min", "Max", "StdDev",
-			"LRU hit", "MRD hit"},
+			"LRU hit", "MRD hit", "MRD σJCT", "MRD pf-acc"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			r.Workload, itoa(r.Seeds), pct(r.MeanJCT), pct(r.MinJCT), pct(r.MaxJCT),
 			f2(r.StdDev), pct1(r.MeanLRUHit), pct1(r.MeanMRDHit),
+			ms(int64(r.MRDJCTSigma)), pct1(r.MRDPrefetchAcc),
 		})
 	}
 	t.Note = "The paper averages every configuration over 20 runs; here each seed is a recurring run over new data."

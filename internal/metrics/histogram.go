@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over int64 samples, the shape
+// the observability layer uses for latency- and distance-style
+// distributions (eviction reference distance, prefetch lead time,
+// remote-fetch latency, recovery time). Buckets are defined by their
+// inclusive upper bounds; samples above the last bound land in an
+// explicit overflow bucket, so no observation is ever dropped.
+//
+// The zero value is not usable; construct with NewHistogram. Bounds
+// must be strictly increasing — equal or decreasing bounds would make
+// some buckets unreachable (zero-width), which NewHistogram rejects.
+type Histogram struct {
+	Name string // metric-style identifier, e.g. "evict_ref_distance"
+	Unit string // unit of the samples, e.g. "stages", "us"
+
+	Bounds   []int64 // inclusive upper bounds, strictly increasing
+	Counts   []int64 // one count per bound
+	Overflow int64   // samples above the last bound
+
+	Count int64 // total observations
+	Sum   int64 // sum of all samples
+	Min   int64 // smallest sample (valid when Count > 0)
+	Max   int64 // largest sample (valid when Count > 0)
+}
+
+// NewHistogram builds a histogram with the given inclusive upper
+// bounds. It panics on an empty or non-increasing bound list: a
+// zero-width bucket can never be hit, so it is a programming error,
+// not data.
+func NewHistogram(name, unit string, bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: NewHistogram with no bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: NewHistogram %q: bounds not strictly increasing at %d (%d <= %d)",
+				name, i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		Name:   name,
+		Unit:   unit,
+		Bounds: append([]int64(nil), bounds...),
+		Counts: make([]int64, len(bounds)),
+	}
+}
+
+// Observe records one sample. Samples above the last bound count in
+// the overflow bucket; there is no underflow — the first bucket covers
+// everything at or below its bound.
+func (h *Histogram) Observe(v int64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Overflow++
+}
+
+// Mean returns the average sample, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Merge folds other into h. The two histograms must share bucket
+// bounds; merging mismatched layouts would silently misbin, so it is
+// an error instead.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(other.Bounds) != len(h.Bounds) {
+		return fmt.Errorf("metrics: merging histogram %q: %d bounds vs %d", h.Name, len(other.Bounds), len(h.Bounds))
+	}
+	for i := range h.Bounds {
+		if h.Bounds[i] != other.Bounds[i] {
+			return fmt.Errorf("metrics: merging histogram %q: bound %d differs (%d vs %d)", h.Name, i, h.Bounds[i], other.Bounds[i])
+		}
+	}
+	if other.Count > 0 {
+		if h.Count == 0 || other.Min < h.Min {
+			h.Min = other.Min
+		}
+		if h.Count == 0 || other.Max > h.Max {
+			h.Max = other.Max
+		}
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	h.Overflow += other.Overflow
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+	return nil
+}
+
+// String renders the histogram as an aligned bucket table.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): n=%d", h.Name, h.Unit, h.Count)
+	if h.Count > 0 {
+		fmt.Fprintf(&b, " min=%d mean=%.1f max=%d", h.Min, h.Mean(), h.Max)
+	}
+	b.WriteString("\n")
+	lo := int64(0)
+	for i, bound := range h.Bounds {
+		fmt.Fprintf(&b, "  [%d..%d]: %d\n", lo, bound, h.Counts[i])
+		lo = bound + 1
+	}
+	fmt.Fprintf(&b, "  [>%d]: %d\n", h.Bounds[len(h.Bounds)-1], h.Overflow)
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram("d", "stages", []int64{1, 2, 5, 10})
+	for _, v := range []int64{0, 1, 1, 2, 3, 5, 6, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	wantCounts := []int64{3, 1, 2, 2} // <=1: {0,1,1}; <=2: {2}; <=5: {3,5}; <=10: {6,10}
+	for i, want := range wantCounts {
+		if h.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], want)
+		}
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2 (11 and 1000)", h.Overflow)
+	}
+	if h.Count != 10 || h.Min != 0 || h.Max != 1000 {
+		t.Errorf("count/min/max = %d/%d/%d, want 10/0/1000", h.Count, h.Min, h.Max)
+	}
+	if h.Sum != 0+1+1+2+3+5+6+10+11+1000 {
+		t.Errorf("sum = %d", h.Sum)
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	// Bounds are inclusive upper bounds: a sample exactly on a bound
+	// lands in that bucket, one past it in the next.
+	h := NewHistogram("b", "us", []int64{100})
+	h.Observe(100)
+	h.Observe(101)
+	if h.Counts[0] != 1 || h.Overflow != 1 {
+		t.Errorf("bucket=%d overflow=%d, want 1/1", h.Counts[0], h.Overflow)
+	}
+}
+
+func TestHistogramZeroWidthBucketRejected(t *testing.T) {
+	for _, bounds := range [][]int64{
+		{1, 1, 2},  // equal adjacent bounds: zero-width bucket
+		{5, 3},     // decreasing: negative-width bucket
+		{},         // no buckets at all
+		{10, 10},   // duplicate
+		{0, 1, -1}, // decreasing at the end
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram("bad", "x", bounds)
+		}()
+	}
+}
+
+func TestHistogramNegativeSamplesLandInFirstBucket(t *testing.T) {
+	// There is no underflow bucket: anything at or below the first
+	// bound — including negative sentinels that slip through — counts
+	// in the first bucket rather than disappearing.
+	h := NewHistogram("n", "us", []int64{0, 10})
+	h.Observe(-5)
+	if h.Counts[0] != 1 {
+		t.Errorf("negative sample not in first bucket: %v", h.Counts)
+	}
+	if h.Min != -5 {
+		t.Errorf("min = %d, want -5", h.Min)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram("m", "us", []int64{1, 10})
+	b := NewHistogram("m", "us", []int64{1, 10})
+	a.Observe(1)
+	a.Observe(100)
+	b.Observe(5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 3 || a.Counts[0] != 1 || a.Counts[1] != 1 || a.Overflow != 1 {
+		t.Errorf("merged wrong: %+v", a)
+	}
+	if a.Min != 1 || a.Max != 100 {
+		t.Errorf("merged min/max = %d/%d", a.Min, a.Max)
+	}
+	c := NewHistogram("m", "us", []int64{2, 10})
+	if err := a.Merge(c); err == nil {
+		t.Error("merge with mismatched bounds did not error")
+	}
+	d := NewHistogram("m", "us", []int64{1})
+	if err := a.Merge(d); err == nil {
+		t.Error("merge with fewer bounds did not error")
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	a := NewHistogram("m", "us", []int64{10})
+	b := NewHistogram("m", "us", []int64{10})
+	b.Observe(7)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Min != 7 || a.Max != 7 || a.Count != 1 {
+		t.Errorf("empty-merge min/max/count = %d/%d/%d", a.Min, a.Max, a.Count)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram("lat", "us", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(500)
+	s := h.String()
+	for _, want := range []string{"lat (us)", "n=2", "[0..10]: 1", "[>100]: 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSummaryStdDevAndAccuracy(t *testing.T) {
+	runs := []Run{
+		{JCT: 100, Hits: 1, PrefetchIssued: 4, PrefetchUsed: 2},
+		{JCT: 300, Hits: 1, PrefetchIssued: 2, PrefetchUsed: 2},
+	}
+	s := Aggregate(runs)
+	if s.MeanJCT != 200 {
+		t.Errorf("mean = %v", s.MeanJCT)
+	}
+	if s.StdDevJCT != 100 {
+		t.Errorf("stddev = %v, want 100", s.StdDevJCT)
+	}
+	if s.MeanPrefetchAcc != 0.75 {
+		t.Errorf("prefetch accuracy = %v, want 0.75", s.MeanPrefetchAcc)
+	}
+	if str := s.String(); !strings.Contains(str, "n=2") || !strings.Contains(str, "σ=") {
+		t.Errorf("Summary.String() = %q", str)
+	}
+}

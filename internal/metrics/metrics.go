@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -159,6 +160,12 @@ type Summary struct {
 	MaxJCT      int64
 	MeanHit     float64
 	MeanEvicted float64
+	// StdDevJCT is the population standard deviation of the JCTs —
+	// min/max alone hide how tightly the seeds cluster.
+	StdDevJCT float64
+	// MeanPrefetchAcc averages each run's prefetch accuracy (used /
+	// issued). Runs that issued no prefetches contribute 0.
+	MeanPrefetchAcc float64
 }
 
 // Aggregate summarizes a set of runs. It panics on an empty slice:
@@ -168,11 +175,12 @@ func Aggregate(runs []Run) Summary {
 		panic("metrics: Aggregate of zero runs")
 	}
 	s := Summary{N: len(runs), MinJCT: runs[0].JCT, MaxJCT: runs[0].JCT}
-	var jct, hit, ev float64
+	var jct, hit, ev, acc float64
 	for _, r := range runs {
 		jct += float64(r.JCT)
 		hit += r.HitRatio()
 		ev += float64(r.Evictions)
+		acc += r.PrefetchAccuracy()
 		if r.JCT < s.MinJCT {
 			s.MinJCT = r.JCT
 		}
@@ -183,5 +191,24 @@ func Aggregate(runs []Run) Summary {
 	s.MeanJCT = jct / float64(s.N)
 	s.MeanHit = hit / float64(s.N)
 	s.MeanEvicted = ev / float64(s.N)
+	s.MeanPrefetchAcc = acc / float64(s.N)
+	var ss float64
+	for _, r := range runs {
+		d := float64(r.JCT) - s.MeanJCT
+		ss += d * d
+	}
+	s.StdDevJCT = math.Sqrt(ss / float64(s.N))
 	return s
+}
+
+// String renders the summary on one line, the way sweep tables quote
+// repeated-run results.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d JCT mean=%v σ=%v [min=%v max=%v] hit=%.1f%% evict=%.1f pf-acc=%.0f%%",
+		s.N,
+		time.Duration(s.MeanJCT)*time.Microsecond,
+		time.Duration(s.StdDevJCT)*time.Microsecond,
+		time.Duration(s.MinJCT)*time.Microsecond,
+		time.Duration(s.MaxJCT)*time.Microsecond,
+		100*s.MeanHit, s.MeanEvicted, 100*s.MeanPrefetchAcc)
 }

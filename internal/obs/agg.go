@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"sort"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/metrics"
+)
+
+// Default bucket layouts for the four run histograms.
+var (
+	// evictDistanceBounds buckets eviction victims by reference
+	// distance in stages; infinite-distance victims land in overflow.
+	evictDistanceBounds = []int64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	// prefetchLeadBounds buckets issue→first-use lead times (µs).
+	prefetchLeadBounds = []int64{1_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000}
+	// fetchLatencyBounds buckets modeled remote-fetch service latency
+	// including retry backoff (µs).
+	fetchLatencyBounds = []int64{100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000}
+	// recoveryBounds buckets lost-block recovery times: loss or
+	// corruption detection to the block being resident again (µs).
+	recoveryBounds = []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+)
+
+// Aggregator is a streaming bus subscriber that folds the event stream
+// into per-stage and per-node statistics, per-node stage lanes for the
+// timeline report, and the four run histograms. Subscribe it with
+// Attach; read the results after the run.
+type Aggregator struct {
+	stages  []metrics.StageStats
+	stageIx map[int]int // stage ID -> latest index in stages
+
+	nodes map[int]*metrics.NodeStats
+
+	lanes map[[2]int]*metrics.NodeStageSpan // (node, stage) -> span
+
+	// EvictDistance distributes eviction verdicts by reference
+	// distance; PrefetchLead distributes prefetch issue→first-use lead
+	// times; FetchLatency distributes modeled remote-fetch latencies
+	// including retries; RecoveryTime distributes lost-block
+	// loss→re-resident times.
+	EvictDistance *metrics.Histogram
+	PrefetchLead  *metrics.Histogram
+	FetchLatency  *metrics.Histogram
+	RecoveryTime  *metrics.Histogram
+
+	issued map[block.ID]int64 // prefetch-issue time per in-flight block
+	lost   map[block.ID]int64 // loss/corruption-detect time per block
+}
+
+// NewAggregator builds an empty aggregator with the default histogram
+// bucket layouts.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		stageIx:       map[int]int{},
+		nodes:         map[int]*metrics.NodeStats{},
+		lanes:         map[[2]int]*metrics.NodeStageSpan{},
+		EvictDistance: metrics.NewHistogram("evict_ref_distance", "stages", evictDistanceBounds),
+		PrefetchLead:  metrics.NewHistogram("prefetch_lead_time", "us", prefetchLeadBounds),
+		FetchLatency:  metrics.NewHistogram("remote_fetch_latency", "us", fetchLatencyBounds),
+		RecoveryTime:  metrics.NewHistogram("block_recovery_time", "us", recoveryBounds),
+		issued:        map[block.ID]int64{},
+		lost:          map[block.ID]int64{},
+	}
+}
+
+// Attach subscribes the aggregator to the bus.
+func (a *Aggregator) Attach(b *Bus) { b.Subscribe(a.Observe) }
+
+// node returns (creating if needed) the stats entry for a worker.
+// Cluster-scope events carry no node and are not charged to one.
+func (a *Aggregator) node(id int) *metrics.NodeStats {
+	n, ok := a.nodes[id]
+	if !ok {
+		n = &metrics.NodeStats{Node: id}
+		a.nodes[id] = n
+	}
+	return n
+}
+
+// stage returns the open stats entry for the event's stage, creating a
+// placeholder if an event arrives for a stage never started (drain
+// events before the first stage).
+func (a *Aggregator) stage(ev Event) *metrics.StageStats {
+	if ix, ok := a.stageIx[ev.Stage]; ok {
+		return &a.stages[ix]
+	}
+	a.stages = append(a.stages, metrics.StageStats{StageID: ev.Stage, JobID: ev.Job, StartUs: ev.At, EndUs: ev.At})
+	a.stageIx[ev.Stage] = len(a.stages) - 1
+	return &a.stages[len(a.stages)-1]
+}
+
+// Observe folds one event into the aggregates. It is the bus
+// subscriber.
+func (a *Aggregator) Observe(ev Event) {
+	switch ev.Kind {
+	case KindStageStart:
+		// A stage ID can re-execute across recurring jobs; each
+		// execution gets a fresh entry and later events bind to it.
+		a.stages = append(a.stages, metrics.StageStats{
+			StageID: ev.Stage, JobID: ev.Job, Kind: ev.Verdict,
+			Tasks: int(ev.Value), StartUs: ev.At, EndUs: ev.At,
+		})
+		a.stageIx[ev.Stage] = len(a.stages) - 1
+
+	case KindStageEnd:
+		a.stage(ev).EndUs = ev.At
+
+	case KindTaskStart:
+		a.node(ev.Node).Tasks++
+		key := [2]int{ev.Node, ev.Stage}
+		ln, ok := a.lanes[key]
+		if !ok {
+			ln = &metrics.NodeStageSpan{Node: ev.Node, StageID: ev.Stage, JobID: ev.Job, StartUs: ev.At, EndUs: ev.At}
+			a.lanes[key] = ln
+		}
+		if ev.At < ln.StartUs {
+			ln.StartUs = ev.At
+		}
+		ln.Tasks++
+
+	case KindTaskEnd:
+		if ln, ok := a.lanes[[2]int{ev.Node, ev.Stage}]; ok && ev.At > ln.EndUs {
+			ln.EndUs = ev.At
+		}
+
+	case KindHit:
+		a.stage(ev).Hits++
+		a.node(ev.Node).Hits++
+		if t, ok := a.issued[ev.Block]; ok {
+			a.PrefetchLead.Observe(ev.At - t)
+			a.stage(ev).PrefetchUsed++
+			a.node(ev.Node).PrefetchUsed++
+			delete(a.issued, ev.Block)
+		}
+
+	case KindMiss:
+		a.stage(ev).Misses++
+		a.node(ev.Node).Misses++
+
+	case KindPromote:
+		a.stage(ev).DiskPromotes++
+		a.node(ev.Node).DiskPromotes++
+		a.addBytes(ev)
+
+	case KindRecompute:
+		a.stage(ev).Recomputes++
+		a.node(ev.Node).Recomputes++
+
+	case KindInsert:
+		a.stage(ev).Inserts++
+		a.node(ev.Node).Inserts++
+		a.addBytes(ev)
+		if t, ok := a.lost[ev.Block]; ok {
+			a.RecoveryTime.Observe(ev.At - t)
+			delete(a.lost, ev.Block)
+		}
+
+	case KindEvict:
+		a.stage(ev).Evictions++
+		a.node(ev.Node).Evictions++
+		a.dropIssued(ev)
+
+	case KindPurge:
+		a.stage(ev).Purged++
+		a.node(ev.Node).Purged++
+		a.dropIssued(ev)
+
+	case KindPrefetchIssue:
+		a.stage(ev).PrefetchIssued++
+		a.node(ev.Node).PrefetchIssued++
+		a.issued[ev.Block] = ev.At
+
+	case KindPrefetchArrive:
+		a.addBytes(ev)
+
+	case KindEvictVerdict:
+		// Victims with no remaining references (infinite distance,
+		// negative sentinel) land in the overflow bucket: "further than
+		// any finite distance".
+		if ev.Verdict == "mrd" {
+			d := ev.Value
+			if d < 0 {
+				d = evictDistanceBounds[len(evictDistanceBounds)-1] + 1
+			}
+			a.EvictDistance.Observe(d)
+		}
+
+	case KindRemoteFetch:
+		a.FetchLatency.Observe(ev.Value)
+
+	case KindFetchRetry:
+		a.stage(ev).FetchRetries++
+
+	case KindFetchGiveUp:
+		a.stage(ev).FetchGiveUps++
+
+	case KindNodeFail:
+		a.node(ev.Node).Crashes++
+
+	case KindStraggleBegin:
+		a.node(ev.Node).Stragglers++
+
+	case KindBlockLost, KindCorruptDetect:
+		a.lost[ev.Block] = ev.At
+
+	case KindReplicaWrite, KindReplicaHit:
+		a.addBytes(ev)
+	}
+}
+
+func (a *Aggregator) addBytes(ev Event) {
+	a.stage(ev).BytesMoved += ev.Bytes
+	if ev.Node != ClusterScope {
+		a.node(ev.Node).BytesMoved += ev.Bytes
+	}
+}
+
+// dropIssued settles a prefetched-but-never-used block when it is
+// evicted or purged.
+func (a *Aggregator) dropIssued(ev Event) {
+	if _, ok := a.issued[ev.Block]; ok {
+		a.stage(ev).PrefetchWasted++
+		if ev.Node != ClusterScope {
+			a.node(ev.Node).PrefetchWasted++
+		}
+		delete(a.issued, ev.Block)
+	}
+}
+
+// SetNodeBusy records a node's device utilization; the simulator calls
+// it once per node when the run completes (busy time lives in the
+// device queues, not in events).
+func (a *Aggregator) SetNodeBusy(node int, diskUs, netUs int64) {
+	n := a.node(node)
+	n.DiskBusyUs = diskUs
+	n.NetBusyUs = netUs
+}
+
+// StageStats returns the per-stage statistics in execution order.
+func (a *Aggregator) StageStats() []metrics.StageStats {
+	return append([]metrics.StageStats(nil), a.stages...)
+}
+
+// NodeStats returns the per-node statistics ordered by node index.
+func (a *Aggregator) NodeStats() []metrics.NodeStats {
+	out := make([]metrics.NodeStats, 0, len(a.nodes))
+	for _, n := range a.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Lanes returns the per-node stage activity spans, ordered by node
+// then start time — the rows of the report's per-node timeline.
+func (a *Aggregator) Lanes() []metrics.NodeStageSpan {
+	out := make([]metrics.NodeStageSpan, 0, len(a.lanes))
+	for _, ln := range a.lanes {
+		out = append(out, *ln)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		if out[i].StartUs != out[j].StartUs {
+			return out[i].StartUs < out[j].StartUs
+		}
+		return out[i].StageID < out[j].StageID
+	})
+	return out
+}
+
+// Histograms returns the four run histograms in a stable order.
+func (a *Aggregator) Histograms() []*metrics.Histogram {
+	return []*metrics.Histogram{a.EvictDistance, a.PrefetchLead, a.FetchLatency, a.RecoveryTime}
+}
+
+// SynthesizeRun reconstructs the headline run counters from the
+// aggregates — what an offline trace replay can recover when the
+// original metrics.Run is not available. I/O volumes and wall time
+// live outside the event stream and stay zero.
+func (a *Aggregator) SynthesizeRun(workload, policy string) metrics.Run {
+	r := metrics.Run{Workload: workload, Policy: policy}
+	jobs := map[int]bool{}
+	for _, st := range a.stages {
+		r.Hits += st.Hits
+		r.Misses += st.Misses
+		r.DiskPromotes += st.DiskPromotes
+		r.Recomputes += st.Recomputes
+		r.Evictions += st.Evictions
+		r.PurgedBlocks += st.Purged
+		r.PrefetchIssued += st.PrefetchIssued
+		r.PrefetchUsed += st.PrefetchUsed
+		r.PrefetchWasted += st.PrefetchWasted
+		r.FetchRetries += st.FetchRetries
+		r.FetchGiveUps += st.FetchGiveUps
+		r.StagesExecuted++
+		jobs[st.JobID] = true
+		if st.EndUs > r.JCT {
+			r.JCT = st.EndUs
+		}
+	}
+	r.Jobs = len(jobs)
+	for _, n := range a.nodes {
+		r.TasksExecuted += n.Tasks
+		r.NodeCrashes += n.Crashes
+		r.StragglerEvents += n.Stragglers
+	}
+	return r
+}

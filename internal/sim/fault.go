@@ -7,6 +7,7 @@ import (
 	"mrdspark/internal/block"
 	"mrdspark/internal/cluster"
 	"mrdspark/internal/fault"
+	"mrdspark/internal/obs"
 	"mrdspark/internal/policy"
 )
 
@@ -28,13 +29,13 @@ func (s *Simulation) applyFaults() {
 		if n.down && n.rejoinAt <= s.stageIx {
 			n.down = false
 			s.run.NodeRejoins++
-			s.traceEvent("node-rejoin", n.id, block.ID{})
+			s.bus.Emit(obs.Ev(obs.KindNodeRejoin, n.id))
 		}
 		if n.slowUntil != 0 && n.slowUntil <= s.stageIx {
 			n.slowUntil = 0
 			n.diskDev.SetSlowdown(1)
 			n.netDev.SetSlowdown(1)
-			s.traceEvent("straggle-end", n.id, block.ID{})
+			s.bus.Emit(obs.Ev(obs.KindStraggleEnd, n.id))
 		}
 	}
 	for _, ev := range s.faultsAt[s.stageIx] {
@@ -47,14 +48,14 @@ func (s *Simulation) applyFaults() {
 			n.netDev.SetSlowdown(ev.NetFactor)
 			n.slowUntil = s.stageIx + ev.Duration
 			s.run.StragglerEvents++
-			s.traceEvent("straggle-begin", n.id, block.ID{})
+			s.bus.Emit(obs.Ev(obs.KindStraggleBegin, n.id))
 		case fault.LoseBlock:
 			s.loseBlock(ev.Block)
 		case fault.CorruptBlock:
 			home := s.nodes[ev.Block.Partition%len(s.nodes)]
 			if home.disk.Has(ev.Block) {
 				s.corrupt[ev.Block] = true
-				s.traceEvent("block-corrupt", home.id, ev.Block)
+				s.bus.Emit(obs.BlockEv(obs.KindBlockCorrupt, home.id, ev.Block, 0))
 			}
 		}
 	}
@@ -70,7 +71,7 @@ func (s *Simulation) applyFaults() {
 func (s *Simulation) crashNode(ev fault.Event) {
 	n := s.nodes[ev.Node]
 	s.run.NodeCrashes++
-	s.traceEvent("node-fail", n.id, block.ID{})
+	s.bus.Emit(obs.Ev(obs.KindNodeFail, n.id))
 
 	// Prefetches that landed on the node die with it; settle the
 	// ledger so Audit's used+wasted+pending == issued still holds.
@@ -126,7 +127,7 @@ func (s *Simulation) loseBlock(id block.ID) {
 		return
 	}
 	s.run.BlocksLost++
-	s.traceEvent("block-lost", home.id, id)
+	s.bus.Emit(obs.BlockEv(obs.KindBlockLost, home.id, id, 0))
 	if s.prefetched[id] {
 		s.run.PrefetchWasted++
 		delete(s.prefetched, id)
@@ -168,7 +169,7 @@ func (s *Simulation) replicate(home *node, info block.Info) {
 		if !rn.disk.HasReplica(info.ID) {
 			rn.disk.PutReplica(info.ID, info.Size)
 			s.run.ReplicaWriteBytes += info.Size
-			s.traceEvent("replica-write", rn.id, info.ID)
+			s.bus.Emit(obs.BlockEv(obs.KindReplicaWrite, rn.id, info.ID, info.Size))
 			// The copy crosses the home NIC and lands on the replica
 			// node's disk, both off the critical path.
 			home.netDev.Transfer(info.Size, Background, func() {})
@@ -239,25 +240,41 @@ func (s *Simulation) restorable(n *node, id block.ID) bool {
 // failed attempts add exponential backoff (simulated time, holding the
 // task slot) and retry up to the budget. It returns false when the
 // budget is exhausted — the caller escalates to lineage recomputation.
-func (s *Simulation) fetchWithRetry(w *taskWork, bytes int64) bool {
+// node is the reading node, for event attribution; every fetch emits a
+// remote-fetch event whose value is the modeled service latency (wire
+// time for all attempts plus accumulated backoff).
+func (s *Simulation) fetchWithRetry(node int, w *taskWork, bytes int64) bool {
+	wireUs := bytes * 1_000_000 / s.cfg.NetBytesPerSec
 	f := s.opts.Fault
 	if f == nil || f.FetchFailureRate == 0 {
 		w.netBytes += bytes
+		s.bus.Emit(obs.Ev(obs.KindRemoteFetch, node).
+			WithBytes(bytes).WithValue(wireUs).WithVerdict("ok"))
 		return true
 	}
 	backoff := f.Backoff()
 	retries := f.Retries()
+	latency := int64(0)
 	for attempt := 0; ; attempt++ {
 		w.netBytes += bytes
+		latency += wireUs
 		if s.frng.Float64() >= f.FetchFailureRate {
+			s.bus.Emit(obs.Ev(obs.KindRemoteFetch, node).
+				WithBytes(bytes).WithValue(latency).WithVerdict("ok"))
 			return true
 		}
 		if attempt >= retries {
 			s.run.FetchGiveUps++
+			s.bus.Emit(obs.Ev(obs.KindFetchGiveUp, node))
+			s.bus.Emit(obs.Ev(obs.KindRemoteFetch, node).
+				WithBytes(bytes).WithValue(latency).WithVerdict("giveup"))
 			return false
 		}
 		s.run.FetchRetries++
-		w.computeUs += backoff << attempt
+		delay := backoff << attempt
+		w.computeUs += delay
+		latency += delay
+		s.bus.Emit(obs.Ev(obs.KindFetchRetry, node).WithValue(delay))
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"mrdspark/internal/block"
+	"mrdspark/internal/obs"
 	"mrdspark/internal/policy"
 )
 
@@ -45,7 +46,7 @@ func (o clusterOps) Evict(node int, id block.ID) bool {
 		return false
 	}
 	s.run.PurgedBlocks++
-	s.traceEvent("purge", node, id)
+	s.bus.Emit(obs.BlockEv(obs.KindPurge, node, id, 0))
 	if s.prefetched[id] {
 		s.run.PrefetchWasted++
 		delete(s.prefetched, id)
@@ -66,10 +67,10 @@ func (o clusterOps) Prefetch(node int, info block.Info) {
 	}
 	s.inFlight[info.ID] = true
 	s.run.PrefetchIssued++
-	s.traceEvent("prefetch-issue", node, info.ID)
+	s.bus.Emit(obs.BlockEv(obs.KindPrefetchIssue, node, info.ID, info.Size))
 	arrive := func() {
 		delete(s.inFlight, info.ID)
-		s.traceEvent("prefetch-arrive", node, info.ID)
+		s.bus.Emit(obs.BlockEv(obs.KindPrefetchArrive, node, info.ID, info.Size))
 		// Aborted arrivals (node crashed mid-flight, block demand-
 		// inserted meanwhile, or the store rejected it) settle the
 		// ledger as wasted so Audit's used+wasted+pending == issued

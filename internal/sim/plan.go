@@ -3,6 +3,7 @@ package sim
 import (
 	"mrdspark/internal/block"
 	"mrdspark/internal/dag"
+	"mrdspark/internal/obs"
 )
 
 // planStage turns a stage into per-task work units. Planning resolves
@@ -62,7 +63,7 @@ func (s *Simulation) planStage(st *dag.Stage) []taskWork {
 		// exhausted retry budget is Spark's shuffle-fetch failure —
 		// the missing map outputs are regenerated, charged here as
 		// local recomputation I/O.
-		if shufRemote > 0 && !s.fetchWithRetry(w, shufRemote) {
+		if shufRemote > 0 && !s.fetchWithRetry(s.execNode(p).id, w, shufRemote) {
 			s.run.RecomputeBytes += shufRemote
 			w.diskBytes += shufRemote
 		}
@@ -154,7 +155,7 @@ func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 	s.run.StageInputBytes += r.PartSize
 	if hn.mem.Get(id) {
 		s.run.Hits++
-		s.traceEvent("hit", home, id)
+		s.bus.Emit(obs.BlockEv(obs.KindHit, home, id, r.PartSize))
 		if s.prefetched[id] {
 			s.run.PrefetchUsed++
 			delete(s.prefetched, id)
@@ -163,14 +164,15 @@ func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 		// under a flaky network that fetch can exhaust its retries, in
 		// which case the reader rebuilds the partition locally from
 		// lineage (the cached copy stays resident at home).
-		if home != readerNode && !s.fetchWithRetry(w, r.PartSize) {
+		if home != readerNode && !s.fetchWithRetry(readerNode, w, r.PartSize) {
 			s.run.RecomputeBytes += r.PartSize
-			s.traceEvent("recompute", readerNode, id)
+			s.bus.Emit(obs.BlockEv(obs.KindRecompute, readerNode, id, r.PartSize))
 			c.chainCost(r, q, w)
 		}
 		return
 	}
 	s.run.Misses++
+	s.bus.Emit(obs.BlockEv(obs.KindMiss, home, id, r.PartSize))
 
 	// A corrupt home-disk copy is detected at this read and dropped,
 	// pushing the miss down to the replica or lineage rung.
@@ -178,7 +180,7 @@ func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 		delete(s.corrupt, id)
 		hn.disk.Remove(id)
 		s.run.BlocksCorrupted++
-		s.traceEvent("corrupt-detect", home, id)
+		s.bus.Emit(obs.BlockEv(obs.KindCorruptDetect, home, id, r.PartSize))
 	}
 
 	if s.diskHas(hn, id) {
@@ -186,11 +188,11 @@ func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 		if home == readerNode {
 			w.diskBytes += r.PartSize
 		} else {
-			fetched = s.fetchWithRetry(w, r.PartSize)
+			fetched = s.fetchWithRetry(readerNode, w, r.PartSize)
 		}
 		if fetched {
 			s.run.DiskPromotes++
-			s.traceEvent("promote", home, id)
+			s.bus.Emit(obs.BlockEv(obs.KindPromote, home, id, r.PartSize))
 			w.computeUs += deserUs
 			w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})
 			return
@@ -204,11 +206,11 @@ func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 		if rn.id == readerNode {
 			w.diskBytes += r.PartSize
 		} else {
-			fetched = s.fetchWithRetry(w, r.PartSize)
+			fetched = s.fetchWithRetry(readerNode, w, r.PartSize)
 		}
 		if fetched {
 			s.run.ReplicaHits++
-			s.traceEvent("replica-hit", rn.id, id)
+			s.bus.Emit(obs.BlockEv(obs.KindReplicaHit, rn.id, id, r.PartSize))
 			w.computeUs += deserUs
 			w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})
 			return
@@ -218,7 +220,7 @@ func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 	// Last rung: recompute from lineage, then re-cache.
 	s.run.Recomputes++
 	s.run.RecomputeBytes += r.PartSize
-	s.traceEvent("recompute", home, id)
+	s.bus.Emit(obs.BlockEv(obs.KindRecompute, home, id, r.PartSize))
 	c.chainCost(r, q, w)
 	w.inserts = append(w.inserts, insert{node: home, info: r.BlockInfo(q)})
 }

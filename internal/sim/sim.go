@@ -8,6 +8,7 @@ import (
 	"mrdspark/internal/dag"
 	"mrdspark/internal/fault"
 	"mrdspark/internal/metrics"
+	"mrdspark/internal/obs"
 	"mrdspark/internal/policy"
 )
 
@@ -75,8 +76,13 @@ type Simulation struct {
 	stageIx  int // count of executed stages, for failure injection
 	ran      bool
 	timeline []metrics.StageSpan
-	traceOn  bool
-	trace    []TraceEvent
+
+	// bus is the run's observability event bus (internal/obs). It exists
+	// on every simulation but stays disabled — and free — until
+	// something subscribes (EnableTrace, Observe, or a direct Bus call).
+	bus *obs.Bus
+	rec *obs.Recorder
+	agg *obs.Aggregator
 }
 
 // New assembles a simulation. The factory mints one policy per node;
@@ -99,6 +105,11 @@ func New(g *dag.Graph, cfg cluster.Config, factory policy.Factory, workload stri
 		inFlight:   map[block.ID]bool{},
 		corrupt:    map[block.ID]bool{},
 		faultsAt:   map[int][]fault.Event{},
+		bus:        obs.New(),
+	}
+	s.bus.SetClock(s.eng.Now)
+	if at, ok := factory.(obs.Attacher); ok {
+		at.AttachBus(s.bus)
 	}
 	s.run.Workload = workload
 	s.run.Policy = factory.Name()
@@ -156,8 +167,25 @@ func (s *Simulation) Run() metrics.Run {
 	for _, n := range s.nodes {
 		s.run.DiskBusy += n.diskDev.Busy
 		s.run.NetBusy += n.netDev.Busy
+		if s.agg != nil {
+			s.agg.SetNodeBusy(n.id, n.diskDev.Busy, n.netDev.Busy)
+		}
 	}
 	return s.run
+}
+
+// Bus exposes the run's event bus for custom subscribers (before Run).
+func (s *Simulation) Bus() *obs.Bus { return s.bus }
+
+// Observe attaches (once) and returns the run's streaming aggregator:
+// per-stage and per-node statistics, timeline lanes, and the four run
+// histograms. Call before Run; read the aggregates after.
+func (s *Simulation) Observe() *obs.Aggregator {
+	if s.agg == nil {
+		s.agg = obs.NewAggregator()
+		s.agg.Attach(s.bus)
+	}
+	return s.agg
 }
 
 // Timeline returns the per-stage spans of the completed run, in
@@ -257,13 +285,18 @@ func (s *Simulation) startStage(job *dag.Job, k int, done func()) {
 		return
 	}
 	st := job.NewStages[k]
+	// Stage context is set — and the boundary announced — before fault
+	// injection and policy callbacks run, so every event they emit
+	// carries the stage that is about to execute.
+	s.bus.SetStage(st.ID, job.ID)
+	s.bus.Emit(obs.Ev(obs.KindStageStart, obs.ClusterScope).
+		WithValue(int64(st.NumTasks)).WithVerdict(st.Kind.String()))
 	s.applyFaults()
 	s.stageIx++
 	if so, ok := s.factory.(policy.StageObserver); ok {
 		so.OnStageStart(st.ID, job.ID)
 	}
 	s.run.StagesExecuted++
-	s.traceStage(st.ID, job.ID)
 	span := metrics.StageSpan{
 		StageID: st.ID, JobID: job.ID, Kind: st.Kind.String(),
 		Tasks: st.NumTasks, Start: s.eng.Now(),
@@ -271,6 +304,8 @@ func (s *Simulation) startStage(job *dag.Job, k int, done func()) {
 	s.execStage(st, func() {
 		span.End = s.eng.Now()
 		s.timeline = append(s.timeline, span)
+		s.bus.Emit(obs.Ev(obs.KindStageEnd, obs.ClusterScope).
+			WithValue(span.End - span.Start))
 		s.startStage(job, k+1, done)
 	})
 }
@@ -314,6 +349,7 @@ func (s *Simulation) runTask(n *node, w taskWork, done func()) {
 	s.run.TasksExecuted++
 	s.run.DiskReadBytes += w.diskBytes
 	s.run.NetReadBytes += w.netBytes
+	s.bus.Emit(obs.Ev(obs.KindTaskStart, n.id).WithValue(w.computeUs))
 	n.diskDev.Transfer(w.diskBytes, Demand, func() {
 		n.netDev.Transfer(w.netBytes, Demand, func() {
 			s.eng.After(w.computeUs, func() {
@@ -322,6 +358,7 @@ func (s *Simulation) runTask(n *node, w taskWork, done func()) {
 					for _, ins := range w.inserts {
 						s.insertBlock(ins)
 					}
+					s.bus.Emit(obs.Ev(obs.KindTaskEnd, n.id))
 					done()
 				})
 			})
@@ -348,7 +385,7 @@ func (s *Simulation) insertBlock(ins insert) {
 		n.diskDev.Transfer(ins.info.Size, Background, func() {})
 	}
 	evicted, ok := n.mem.Put(ins.info)
-	s.traceEvent("insert", ins.node, ins.info.ID)
+	s.bus.Emit(obs.BlockEv(obs.KindInsert, ins.node, ins.info.ID, ins.info.Size))
 	s.noteEvictions(evicted)
 	if ok {
 		s.replicate(n, ins.info)
@@ -370,9 +407,7 @@ func (s *Simulation) notePeak() {
 func (s *Simulation) noteEvictions(evicted []block.Info) {
 	s.run.Evictions += int64(len(evicted))
 	for _, ev := range evicted {
-		if s.traceOn {
-			s.traceEvent("evict", ev.ID.Partition%len(s.nodes), ev.ID)
-		}
+		s.bus.Emit(obs.BlockEv(obs.KindEvict, ev.ID.Partition%len(s.nodes), ev.ID, ev.Size))
 		if s.prefetched[ev.ID] {
 			s.run.PrefetchWasted++
 			delete(s.prefetched, ev.ID)

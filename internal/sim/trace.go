@@ -1,57 +1,71 @@
 package sim
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
 
-	"mrdspark/internal/block"
+	"mrdspark/internal/obs"
 )
 
-// TraceEvent is one entry of the optional run trace: every cache and
-// scheduling decision with its simulated timestamp. Traces exist for
-// debugging policies and for post-hoc analysis; they are off by
-// default (a full SCC run produces tens of thousands of events).
+// This file is the compatibility surface over the internal/obs event
+// bus, which replaced the original ad-hoc trace collector. The
+// guarantees for existing WriteTrace users:
+//
+//   - EnableTrace/Trace/WriteTrace keep working unchanged.
+//   - The JSON-lines format keeps the legacy field names (at, node,
+//     kind, block, stage, job) with the legacy kind strings; stage and
+//     job are now filled on every event (they used to be 0 on all
+//     block events), and new fields (bytes, value, verdict) appear
+//     when set.
+//   - Events without a block now omit the "block" field (they used to
+//     carry the misleading literal "rdd_0_0").
+//   - New event kinds (miss, task-start/end, stage-end, fault and
+//     policy-decision events) appear in the stream; consumers keying
+//     on known kinds are unaffected.
 type TraceEvent struct {
 	At    int64  `json:"at"` // µs
 	Node  int    `json:"node"`
-	Kind  string `json:"kind"` // stage-start, hit, promote, recompute, insert, evict, purge, prefetch-issue, prefetch-arrive, node-fail
+	Kind  string `json:"kind"` // an obs.Kind wire name; see internal/obs
 	Block string `json:"block,omitempty"`
 	Stage int    `json:"stage,omitempty"`
 	Job   int    `json:"job,omitempty"`
 }
 
-// EnableTrace turns on event collection (before Run).
-func (s *Simulation) EnableTrace() { s.traceOn = true }
+// EnableTrace turns on full event collection (before Run). It attaches
+// an obs.Recorder to the simulation's event bus.
+func (s *Simulation) EnableTrace() {
+	if s.rec == nil {
+		s.rec = obs.NewRecorder()
+		s.rec.Attach(s.bus)
+	}
+}
 
-// Trace returns the collected events in emission order.
-func (s *Simulation) Trace() []TraceEvent { return s.trace }
-
-// WriteTrace writes the trace as JSON lines.
-func (s *Simulation) WriteTrace(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	for _, ev := range s.trace {
-		if err := enc.Encode(ev); err != nil {
-			return fmt.Errorf("sim: writing trace: %w", err)
+// Trace returns the collected events in emission order, converted to
+// the legacy TraceEvent shape. Raw events are available from
+// Recorder/Bus via Observe.
+func (s *Simulation) Trace() []TraceEvent {
+	if s.rec == nil {
+		return nil
+	}
+	events := s.rec.Events()
+	out := make([]TraceEvent, len(events))
+	for i, ev := range events {
+		te := TraceEvent{
+			At: ev.At, Node: ev.Node, Kind: ev.Kind.String(),
+			Stage: ev.Stage, Job: ev.Job,
 		}
+		if ev.HasBlock {
+			te.Block = ev.Block.String()
+		}
+		out[i] = te
 	}
-	return nil
+	return out
 }
 
-func (s *Simulation) traceEvent(kind string, node int, id block.ID) {
-	if !s.traceOn {
-		return
+// WriteTrace writes the trace as JSON lines in the obs wire format (a
+// field superset of the legacy format; see the compat notes above).
+func (s *Simulation) WriteTrace(w io.Writer) error {
+	if s.rec == nil {
+		return nil
 	}
-	s.trace = append(s.trace, TraceEvent{
-		At: s.eng.Now(), Node: node, Kind: kind, Block: id.String(),
-	})
-}
-
-func (s *Simulation) traceStage(stageID, jobID int) {
-	if !s.traceOn {
-		return
-	}
-	s.trace = append(s.trace, TraceEvent{
-		At: s.eng.Now(), Kind: "stage-start", Stage: stageID, Job: jobID,
-	})
+	return s.rec.WriteJSONL(w)
 }

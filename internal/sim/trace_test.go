@@ -9,6 +9,7 @@ import (
 	"mrdspark/internal/block"
 	"mrdspark/internal/core"
 	"mrdspark/internal/fault"
+	"mrdspark/internal/obs"
 	"mrdspark/internal/policy"
 )
 
@@ -104,4 +105,113 @@ func TestTraceFailureEvent(t *testing.T) {
 		}
 	}
 	t.Error("node failure not traced")
+}
+
+// TestTraceStageJobContext verifies the original trace bug stays
+// fixed: every event between a stage-start and the next stage-start
+// carries exactly that stage's ID and job — including fault and
+// manager-decision events at the stage boundary.
+func TestTraceStageJobContext(t *testing.T) {
+	g, _, _ := twoGapGraph()
+	s, err := New(g, tinyCluster(1<<10), mrdFactory(g, core.Options{}), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableTrace()
+	s.Run()
+
+	stage, job := -1, -1
+	blockEvents := 0
+	for _, ev := range s.Trace() {
+		if ev.Kind == "stage-start" {
+			stage, job = ev.Stage, ev.Job
+		}
+		if stage < 0 {
+			t.Fatalf("%s event before any stage-start", ev.Kind)
+		}
+		if ev.Stage != stage || ev.Job != job {
+			t.Fatalf("%s at t=%d carries stage %d/job %d, executing stage is %d/job %d",
+				ev.Kind, ev.At, ev.Stage, ev.Job, stage, job)
+		}
+		if ev.Block != "" {
+			blockEvents++
+		}
+	}
+	if blockEvents == 0 {
+		t.Fatal("trace has no block events to check")
+	}
+}
+
+// TestTraceDeterministic: two simulations of the same graph on the
+// same cluster must produce byte-identical serialized event streams —
+// the property that makes recorded traces diffable across runs.
+func TestTraceDeterministic(t *testing.T) {
+	render := func() []byte {
+		g, _, _ := twoGapGraph()
+		s, err := New(g, tinyCluster(1<<10), mrdFactory(g, core.Options{}), "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.EnableTrace()
+		s.Run()
+		var buf bytes.Buffer
+		if err := s.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed runs produced different event streams")
+	}
+}
+
+// TestReplayMatchesLiveAggregation: replaying a recorded JSONL trace
+// through a fresh aggregator (what cmd/mrdreport does offline) must
+// reproduce the live aggregator's per-stage and per-node sums.
+func TestReplayMatchesLiveAggregation(t *testing.T) {
+	g, _, _ := twoGapGraph()
+	s, err := New(g, tinyCluster(1<<10), mrdFactory(g, core.Options{}), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableTrace()
+	live := s.Observe()
+	s.Run()
+
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := obs.Replay(events)
+
+	ls, rs := live.StageStats(), replayed.StageStats()
+	if len(ls) == 0 || len(ls) != len(rs) {
+		t.Fatalf("stage counts differ: live %d, replayed %d", len(ls), len(rs))
+	}
+	for i := range ls {
+		if ls[i] != rs[i] {
+			t.Errorf("stage %d diverged:\n live   %+v\n replay %+v", i, ls[i], rs[i])
+		}
+	}
+	ln, rn := live.NodeStats(), replayed.NodeStats()
+	if len(ln) != len(rn) {
+		t.Fatalf("node counts differ: live %d, replayed %d", len(ln), len(rn))
+	}
+	for i := range ln {
+		l, r := ln[i], rn[i]
+		// Device busy time is injected from the simulator after the
+		// run; it never enters the event stream.
+		l.DiskBusyUs, l.NetBusyUs = 0, 0
+		if l != r {
+			t.Errorf("node %d diverged:\n live   %+v\n replay %+v", i, l, r)
+		}
+	}
 }

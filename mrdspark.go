@@ -34,6 +34,7 @@ import (
 	"mrdspark/internal/dag"
 	"mrdspark/internal/fault"
 	"mrdspark/internal/metrics"
+	"mrdspark/internal/obs"
 	"mrdspark/internal/policy"
 	"mrdspark/internal/refdist"
 	"mrdspark/internal/sim"
@@ -234,6 +235,16 @@ func Run(cfg Config) (Result, error) {
 // RunGraph simulates an arbitrary application DAG under the
 // configured cluster and policy.
 func RunGraph(g *Graph, name string, cfg Config) (Result, error) {
+	s, err := newGraphSim(g, name, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// newGraphSim assembles a ready-to-run simulation of a DAG under the
+// Config's cluster, policy and fault schedule.
+func newGraphSim(g *Graph, name string, cfg Config) (*sim.Simulation, error) {
 	cl := cfg.Cluster
 	if cl.Nodes == 0 {
 		cl = cluster.Main()
@@ -243,18 +254,31 @@ func RunGraph(g *Graph, name string, cfg Config) (Result, error) {
 	}
 	factory, err := NewPolicy(cfg.Policy, cfg, g)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	s, err := sim.New(g, cl, factory, name)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if f := cfg.faultSchedule(); f != nil {
 		if err := s.SetOptions(sim.Options{Fault: f}); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
-	return s.Run(), nil
+	return s, nil
+}
+
+// newConfiguredSim builds the Config's benchmark workload and
+// assembles its simulation.
+func newConfiguredSim(cfg Config) (*sim.Simulation, error) {
+	if cfg.Workload == "" {
+		return nil, fmt.Errorf("mrdspark: Config.Workload is empty (choose from %v)", Workloads())
+	}
+	spec, err := workload.Build(cfg.Workload, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return newGraphSim(spec.Graph, spec.Name, cfg)
 }
 
 // RunGraphWith simulates a DAG under a caller-provided policy factory
@@ -275,32 +299,9 @@ func RunDetailed(cfg Config) (Result, []StageSpan, error) {
 // event trace (every hit, promote, insert, evict, purge and prefetch
 // with its simulated timestamp) written to trace.
 func RunTraced(cfg Config, trace io.Writer) (Result, []StageSpan, error) {
-	if cfg.Workload == "" {
-		return Result{}, nil, fmt.Errorf("mrdspark: Config.Workload is empty (choose from %v)", Workloads())
-	}
-	spec, err := workload.Build(cfg.Workload, cfg.Params)
+	s, err := newConfiguredSim(cfg)
 	if err != nil {
 		return Result{}, nil, err
-	}
-	cl := cfg.Cluster
-	if cl.Nodes == 0 {
-		cl = cluster.Main()
-	}
-	if cfg.CachePerNode > 0 {
-		cl = cl.WithCache(cfg.CachePerNode)
-	}
-	factory, err := NewPolicy(cfg.Policy, cfg, spec.Graph)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	s, err := sim.New(spec.Graph, cl, factory, spec.Name)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	if f := cfg.faultSchedule(); f != nil {
-		if err := s.SetOptions(sim.Options{Fault: f}); err != nil {
-			return Result{}, nil, err
-		}
 	}
 	if trace != nil {
 		s.EnableTrace()
@@ -313,3 +314,45 @@ func RunTraced(cfg Config, trace io.Writer) (Result, []StageSpan, error) {
 	}
 	return run, s.Timeline(), nil
 }
+
+// RunReport is a renderable run report (see internal/obs): per-stage
+// and per-node aggregates, timeline lanes, histograms, and optional
+// baseline runs for comparison. Render with WriteHTML.
+type RunReport = obs.Report
+
+// Observed is a completed instrumented run: the result plus the full
+// event stream and its aggregates, exportable as a JSONL trace, a
+// Prometheus text exposition, or an HTML report.
+type Observed struct {
+	Run      Result
+	Timeline []StageSpan
+	sim      *sim.Simulation
+	agg      *obs.Aggregator
+}
+
+// RunObserved runs the configured benchmark workload with the
+// observability layer attached: the event bus feeds both a recorder
+// (for traces) and a streaming aggregator (for reports and metrics).
+func RunObserved(cfg Config) (*Observed, error) {
+	s, err := newConfiguredSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.EnableTrace()
+	agg := s.Observe()
+	run := s.Run()
+	return &Observed{Run: run, Timeline: s.Timeline(), sim: s, agg: agg}, nil
+}
+
+// Report snapshots the run into a renderable report.
+func (o *Observed) Report() *RunReport { return o.agg.Report(o.Run) }
+
+// WriteHTML renders the self-contained HTML run report.
+func (o *Observed) WriteHTML(w io.Writer) error { return o.Report().WriteHTML(w) }
+
+// WriteTrace writes the run's full JSONL event trace.
+func (o *Observed) WriteTrace(w io.Writer) error { return o.sim.WriteTrace(w) }
+
+// WritePrometheus writes the aggregates in the Prometheus text
+// exposition format.
+func (o *Observed) WritePrometheus(w io.Writer) error { return obs.WritePrometheus(w, o.agg) }
