@@ -1,0 +1,84 @@
+package mrdspark
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchBaselineOut, when set, makes TestWriteBenchBaseline run the
+// curated tier-1 benchmarks via testing.Benchmark and write their
+// ns/op and allocs/op to the given JSON file:
+//
+//	go test -run TestWriteBenchBaseline -benchbaseline BENCH_baseline.json .
+//
+// The checked-in BENCH_baseline.json gives future changes a perf
+// trajectory to compare against; CI regenerates and uploads its own
+// copy per run so regressions are visible on CI hardware too.
+var benchBaselineOut = flag.String("benchbaseline", "", "write a benchmark baseline JSON to this path")
+
+// BenchBaseline is the file format of BENCH_baseline.json.
+type BenchBaseline struct {
+	// GoVersion and MaxProcs identify the environment the numbers were
+	// taken on; ns/op is only comparable on similar hardware, allocs/op
+	// is comparable everywhere.
+	GoVersion string              `json:"go_version"`
+	MaxProcs  int                 `json:"max_procs"`
+	Command   string              `json:"command"`
+	Entries   []BenchBaselineItem `json:"benchmarks"`
+}
+
+// BenchBaselineItem records one benchmark's result.
+type BenchBaselineItem struct {
+	Name     string `json:"name"`
+	NsPerOp  int64  `json:"ns_op"`
+	AllocsOp int64  `json:"allocs_op"`
+	BytesOp  int64  `json:"bytes_op"`
+}
+
+// baselineBenchmarks is the curated tier-1 set: the end-to-end
+// simulation benchmarks the acceptance criteria quote, plus the
+// micro-benchmarks of the hot paths this PR series optimizes.
+var baselineBenchmarks = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"BenchmarkEngine", BenchmarkEngine},
+	{"BenchmarkMRDTableRefresh", BenchmarkMRDTableRefresh},
+	{"BenchmarkProfileFromGraph", BenchmarkProfileFromGraph},
+	{"BenchmarkBuildLP", BenchmarkBuildLP},
+	{"BenchmarkSimulateSCC", BenchmarkSimulateSCC},
+	{"BenchmarkSimulateSCCLRU", BenchmarkSimulateSCCLRU},
+	{"BenchmarkSimulateSCCObserved", BenchmarkSimulateSCCObserved},
+	{"BenchmarkObsEmitDisabled", BenchmarkObsEmitDisabled},
+}
+
+func TestWriteBenchBaseline(t *testing.T) {
+	if *benchBaselineOut == "" {
+		t.Skip("pass -benchbaseline <path> to record a baseline")
+	}
+	base := BenchBaseline{
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Command:   "go test -run TestWriteBenchBaseline -benchbaseline BENCH_baseline.json .",
+	}
+	for _, bb := range baselineBenchmarks {
+		r := testing.Benchmark(bb.fn)
+		base.Entries = append(base.Entries, BenchBaselineItem{
+			Name:     bb.name,
+			NsPerOp:  r.NsPerOp(),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		})
+		t.Logf("%s: %d ns/op, %d allocs/op", bb.name, r.NsPerOp(), r.AllocsPerOp())
+	}
+	out, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchBaselineOut, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

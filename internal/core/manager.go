@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"mrdspark/internal/block"
@@ -118,6 +120,34 @@ type Stats struct {
 	StaleWindowStages int
 }
 
+// mrdTable is the incremental MRD_Table: instead of re-deriving every
+// distance from the profile at each stage boundary (map churn plus a
+// binary search per RDD per stage), it keeps each RDD's sorted read
+// schedule with two cursors — one in stage coordinates, one in job
+// coordinates — advanced monotonically as execution progresses.
+// Distances are then computed on demand as reads[cursor] minus the
+// current position. A profile change (ad-hoc job submission, recurring
+// discrepancy fallback) or a backwards stage jump triggers a full
+// rebuild; the steady state per stage is a cursor check per RDD and
+// zero allocations.
+type mrdTable struct {
+	profile *refdist.Profile
+	version int
+	valid   bool
+	// lastStage/lastJob are the positions the cursors were last
+	// advanced to; regression forces a rebuild.
+	lastStage, lastJob int
+
+	ids   []int           // cached-RDD ids, ascending (the table's key set)
+	reads [][]refdist.Ref // dense by rddID: the RDD's read schedule
+	known []bool          // dense by rddID: id present in ids
+	// spos is the consumed stage cursor: index of the first read at or
+	// after curStage+1 (§4.1: a current-stage reference is already in
+	// the past for eviction purposes). jpos is the job cursor: index of
+	// the first read at or after curJob.
+	spos, jpos []int
+}
+
 // Manager is the centralized MRDmanager of §4.2: it owns the
 // MRD_Table, tracks execution progress, decrements distances as stages
 // start, issues all-out purge orders when an RDD's distance reaches
@@ -127,14 +157,18 @@ type Manager struct {
 	graph    *dag.Graph
 	opts     Options
 
-	// table is the MRD_Table: current reference distance per cached
-	// RDD. Distances are recomputed from the profile as the stage
-	// pointer advances — the functional equivalent of the paper's
-	// per-stage decrement "unless some stages are skipped, regardless
-	// the appropriate value is calculated based on the StageID".
-	table    map[int]int
+	// tbl is the MRD_Table. Distances advance with the stage pointer —
+	// the functional equivalent of the paper's per-stage decrement
+	// "unless some stages are skipped, regardless the appropriate value
+	// is calculated based on the StageID".
+	tbl      mrdTable
 	curStage int
 	curJob   int
+
+	// pfPerNode is the prefetch candidate buffer, reused across stages
+	// so Algorithm 1's per-node candidate walk allocates nothing in
+	// steady state.
+	pfPerNode [][]pfCandidate
 
 	ops       policy.ClusterOps
 	monitors  map[int]*CacheMonitor
@@ -158,7 +192,6 @@ func NewManager(g *dag.Graph, profiler *AppProfiler, opts Options) *Manager {
 		profiler:   profiler,
 		graph:      g,
 		opts:       opts,
-		table:      map[int]int{},
 		monitors:   map[int]*CacheMonitor{},
 		threshold:  newThresholdController(opts.initialThreshold()),
 		staleUntil: map[int]int{},
@@ -288,33 +321,90 @@ func (m *Manager) tableStale(node int) bool {
 // distance returns the current reference distance for the RDD:
 // refdist.Infinite when it has no remaining references (or is unknown
 // to the profile, which in ad-hoc mode is exactly the paper's
-// "assume infinite until a new job is submitted").
+// "assume infinite until a new job is submitted"). The stage metric is
+// the consumed distance (table semantics); the job metric is the plain
+// job distance — both read straight off the table cursors.
 func (m *Manager) distance(rddID int) int {
-	d, ok := m.table[rddID]
-	if !ok {
+	t := &m.tbl
+	if rddID < 0 || rddID >= len(t.known) || !t.known[rddID] {
 		return refdist.Infinite
 	}
-	return d
+	reads := t.reads[rddID]
+	if m.opts.Metric == JobDistance {
+		j := t.jpos[rddID]
+		if j >= len(reads) {
+			return refdist.Infinite
+		}
+		return reads[j].Job - m.curJob
+	}
+	s := t.spos[rddID]
+	if s >= len(reads) {
+		return refdist.Infinite
+	}
+	return reads[s].Stage - m.curStage
 }
 
-// refreshTable recomputes the MRD_Table from the profile at the
-// current execution point.
+// refreshTable brings the MRD_Table to the current execution point.
+// Steady state (same profile, execution moving forward) only advances
+// the per-RDD cursors; a profile change or a position regression
+// rebuilds from scratch.
 func (m *Manager) refreshTable() {
 	p := m.profiler.Profile()
-	for k := range m.table {
-		delete(m.table, k)
-	}
-	for _, id := range p.RDDs() {
-		var d int
-		if m.opts.Metric == JobDistance {
-			d = p.JobDistance(id, m.curJob)
-		} else {
-			d = p.StageDistanceConsumed(id, m.curStage)
+	t := &m.tbl
+	if !t.valid || t.profile != p || t.version != p.Version() ||
+		m.curStage < t.lastStage || m.curJob < t.lastJob {
+		m.rebuildTable(p)
+	} else {
+		for _, id := range t.ids {
+			reads := t.reads[id]
+			s := t.spos[id]
+			for s < len(reads) && reads[s].Stage <= m.curStage {
+				s++
+			}
+			t.spos[id] = s
+			j := t.jpos[id]
+			for j < len(reads) && reads[j].Job < m.curJob {
+				j++
+			}
+			t.jpos[id] = j
 		}
-		m.table[id] = d
 	}
-	if n := len(m.table); n > m.stats.MaxTableEntries {
+	t.lastStage, t.lastJob = m.curStage, m.curJob
+	if n := len(t.ids); n > m.stats.MaxTableEntries {
 		m.stats.MaxTableEntries = n
+	}
+}
+
+// rebuildTable recomputes the table's key set and cursor positions
+// from the profile (binary search per RDD — the cost the old
+// implementation paid at every stage boundary, now paid only when the
+// profile actually changes).
+func (m *Manager) rebuildTable(p *refdist.Profile) {
+	t := &m.tbl
+	t.profile, t.version, t.valid = p, p.Version(), true
+	t.ids = append(t.ids[:0], p.RDDs()...)
+	n := len(m.graph.RDDs)
+	for _, id := range t.ids {
+		if id >= n {
+			n = id + 1
+		}
+	}
+	if len(t.known) < n {
+		t.reads = make([][]refdist.Ref, n)
+		t.known = make([]bool, n)
+		t.spos = make([]int, n)
+		t.jpos = make([]int, n)
+	} else {
+		for i := range t.known {
+			t.reads[i], t.known[i], t.spos[i], t.jpos[i] = nil, false, 0, 0
+		}
+	}
+	for _, id := range t.ids {
+		reads := p.Reads(id)
+		t.reads[id] = reads
+		t.known[id] = true
+		t.spos[id] = sort.Search(len(reads), func(i int) bool { return reads[i].Stage >= m.curStage+1 })
+		t.jpos[id] = sort.Search(len(reads), func(i int) bool { return reads[i].Job >= m.curJob })
 	}
 }
 
@@ -329,23 +419,23 @@ func (m *Manager) purgeInfinite() {
 	// A block is dead only when no reference remains at or after the
 	// current stage — the table's consumed distances would wrongly
 	// condemn blocks whose last reference is the stage about to read
-	// them.
-	p := m.profiler.Profile()
-	ordered := make([]int, 0, len(m.table))
-	for id := range m.table {
-		var d int
-		if m.opts.Metric == JobDistance {
-			d = p.JobDistance(id, m.curJob)
-		} else {
-			d = p.StageDistance(id, m.curStage)
-		}
-		if refdist.IsInfinite(d) {
-			ordered = append(ordered, id)
-		}
-	}
-	sort.Ints(ordered)
+	// them. The cursors hold both views: the consumed position is past
+	// the end AND the read just before it (if any) is not the current
+	// stage's.
+	t := &m.tbl
 	purged := 0
-	for _, rddID := range ordered {
+	for _, rddID := range t.ids {
+		reads := t.reads[rddID]
+		var dead bool
+		if m.opts.Metric == JobDistance {
+			dead = t.jpos[rddID] >= len(reads)
+		} else {
+			s := t.spos[rddID]
+			dead = s >= len(reads) && (s == 0 || reads[s-1].Stage != m.curStage)
+		}
+		if !dead {
+			continue
+		}
 		r := m.graph.RDDs[rddID]
 		for p := 0; p < r.NumPartitions; p++ {
 			id := r.Block(p)
@@ -362,6 +452,12 @@ func (m *Manager) purgeInfinite() {
 	}
 }
 
+// pfCandidate is one prefetchable block with its current distance.
+type pfCandidate struct {
+	info block.Info
+	dist int
+}
+
 // prefetch is the prefetching phase (Algorithm 1, lines 24–29): per
 // node, walk candidate blocks in ascending distance order and issue a
 // prefetch when the block fits in free memory, or force it (allowing
@@ -370,18 +466,15 @@ func (m *Manager) prefetch() {
 	if m.ops == nil {
 		return
 	}
-	type candidate struct {
-		info block.Info
-		dist int
+	if len(m.pfPerNode) != m.ops.NumNodes() {
+		m.pfPerNode = make([][]pfCandidate, m.ops.NumNodes())
 	}
-	perNode := make([][]candidate, m.ops.NumNodes())
-	ordered := make([]int, 0, len(m.table))
-	for id := range m.table {
-		ordered = append(ordered, id)
+	perNode := m.pfPerNode
+	for i := range perNode {
+		perNode[i] = perNode[i][:0]
 	}
-	sort.Ints(ordered)
-	for _, rddID := range ordered {
-		d := m.table[rddID]
+	for _, rddID := range m.tbl.ids {
+		d := m.distance(rddID)
 		// Skip infinite distances (no future use) and distance zero:
 		// the currently executing stage's demand reads are already in
 		// flight, so prefetching them would only duplicate I/O. Under
@@ -400,16 +493,22 @@ func (m *Manager) prefetch() {
 			if m.ops.Resident(node, id) || !m.ops.OnDisk(node, id) {
 				continue
 			}
-			perNode[node] = append(perNode[node], candidate{info: r.BlockInfo(p), dist: d})
+			perNode[node] = append(perNode[node], pfCandidate{info: r.BlockInfo(p), dist: d})
 		}
 	}
 	threshold := m.threshold.threshold
 	for node, cands := range perNode {
-		sort.SliceStable(cands, func(a, b int) bool {
-			if cands[a].dist != cands[b].dist {
-				return cands[a].dist < cands[b].dist
+		slices.SortStableFunc(cands, func(a, b pfCandidate) int {
+			if a.dist != b.dist {
+				return cmp.Compare(a.dist, b.dist)
 			}
-			return cands[a].info.ID.Less(cands[b].info.ID)
+			if a.info.ID == b.info.ID {
+				return 0
+			}
+			if a.info.ID.Less(b.info.ID) {
+				return -1
+			}
+			return 1
 		})
 		free := m.ops.FreeBytes(node)
 		capacity := m.ops.CapacityBytes(node)

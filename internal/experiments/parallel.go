@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -9,31 +10,59 @@ import (
 // Simulations are independent and deterministic, so experiments that
 // sweep workloads or cache sizes parallelize without changing results;
 // fn must only write to its own index's slot.
+//
+// A panic inside fn is recovered in the worker and re-raised from the
+// caller with the failing index attached. Without this, a worker panic
+// killed the process from a bare goroutine with no hint of which sweep
+// entry failed — and left the caller's deferred cleanup unrun.
 func forEach(n int, fn func(i int)) {
+	var (
+		mu      sync.Mutex
+		failIdx = -1
+		failVal any
+	)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if failIdx < 0 {
+					failIdx, failVal = i, r
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
+			call(i)
+			if failIdx >= 0 {
+				break
 			}
-		}()
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					call(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	if failIdx >= 0 {
+		panic(fmt.Sprintf("experiments: forEach(%d): fn(%d) panicked: %v", n, failIdx, failVal))
 	}
-	close(next)
-	wg.Wait()
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/workload"
+)
+
+func TestForEachPanicAttachesIndex(t *testing.T) {
+	for _, n := range []int{1, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected forEach to re-raise the worker panic")
+				}
+				s := fmt.Sprint(r)
+				if !strings.Contains(s, fmt.Sprintf("fn(%d)", n-1)) || !strings.Contains(s, "boom") {
+					t.Fatalf("panic %q does not name the failing index", s)
+				}
+			}()
+			forEach(n, func(i int) {
+				if i == n-1 {
+					panic("boom")
+				}
+			})
+		})
+	}
+}
+
+func TestRunCacheMemoizes(t *testing.T) {
+	ResetRunCache()
+	defer ResetRunCache()
+
+	spec, err := workload.Build("KM", workload.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Main().WithCache(64 << 20)
+
+	a := runOne(spec, cfg, SpecLRU)
+	if n := runCacheLen(); n != 1 {
+		t.Fatalf("after first run: %d cache entries, want 1", n)
+	}
+	b := runOne(spec, cfg, SpecLRU)
+	if a != b {
+		t.Fatalf("cached replay differs from original run:\n a=%+v\n b=%+v", a, b)
+	}
+	if n := runCacheLen(); n != 1 {
+		t.Fatalf("repeat run grew the cache to %d entries", n)
+	}
+
+	// Distinct generation params, policies, and cluster configs must
+	// key separately even for the same workload name.
+	seeded, err := workload.Build("KM", workload.Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOne(seeded, cfg, SpecLRU)
+	runOne(spec, cfg, SpecMRD)
+	runOne(spec, cfg.WithCache(32<<20), SpecLRU)
+	if n := runCacheLen(); n != 4 {
+		t.Fatalf("distinct configurations share entries: %d, want 4", n)
+	}
+}
+
+func runCacheLen() int {
+	n := 0
+	runCache.Range(func(_, _ any) bool { n++; return true })
+	return n
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"mrdspark/internal/cluster"
 	"mrdspark/internal/core"
@@ -98,13 +99,49 @@ func (p PolicySpec) Name() string {
 	return name
 }
 
-// runOne simulates the workload under the policy on the cluster.
+// runKey is the complete identity of one simulation: workload
+// generation is a pure function of (Name, Params), the simulator is
+// deterministic, and nothing mutates a Spec's graph after Build — so
+// equal keys always produce the same metrics.Run. Every field is
+// comparable by construction (PolicySpec and Params are flat structs;
+// metrics.Run keeps FaultWarning a string for the same reason).
+type runKey struct {
+	workload string
+	params   workload.Params
+	cfg      cluster.Config
+	policy   PolicySpec
+}
+
+// runCache memoizes completed simulations across the whole experiment
+// suite, keyed by runKey. Suite entries sharing a configuration — most
+// commonly the unbounded-cache working-set probe that several
+// experiments issue for the same workload — simulate once. Concurrent
+// misses on the same key may race to simulate; both compute the
+// identical Run, so last-store-wins is harmless.
+var runCache sync.Map // runKey -> metrics.Run
+
+// ResetRunCache empties the memoized-run cache (test helper).
+func ResetRunCache() {
+	runCache.Range(func(k, _ any) bool {
+		runCache.Delete(k)
+		return true
+	})
+}
+
+// runOne simulates the workload under the policy on the cluster,
+// memoizing the result: repeated (workload, cluster, policy) triples
+// replay from cache instead of re-simulating.
 func runOne(spec *workload.Spec, cfg cluster.Config, p PolicySpec) metrics.Run {
+	key := runKey{workload: spec.Name, params: spec.Params, cfg: cfg, policy: p}
+	if v, ok := runCache.Load(key); ok {
+		return v.(metrics.Run)
+	}
 	run, err := sim.Run(spec.Graph, cfg, p.Factory(spec), spec.Name)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s on %s: %v", p.Name(), spec.Name, err))
 	}
 	run.Policy = p.Name()
+	runCache.Store(key, run)
 	return run
 }
 

@@ -139,3 +139,22 @@ func TestSummaryStdDevAndAccuracy(t *testing.T) {
 		t.Errorf("Summary.String() = %q", str)
 	}
 }
+
+// TestSummaryPrefetchAccIgnoresNonPrefetchingRuns is the regression
+// test for the MeanPrefetchAcc bug: the mean divided by all runs, so
+// runs that issued no prefetches — which say nothing about accuracy —
+// dragged the average down.
+func TestSummaryPrefetchAccIgnoresNonPrefetchingRuns(t *testing.T) {
+	runs := []Run{
+		{JCT: 100, PrefetchIssued: 4, PrefetchUsed: 2}, // accuracy 0.5
+		{JCT: 100, PrefetchIssued: 2, PrefetchUsed: 2}, // accuracy 1.0
+		{JCT: 100},                                     // no prefetches: excluded
+		{JCT: 100},
+	}
+	if s := Aggregate(runs); s.MeanPrefetchAcc != 0.75 {
+		t.Errorf("accuracy over prefetching runs = %v, want 0.75", s.MeanPrefetchAcc)
+	}
+	if s := Aggregate([]Run{{JCT: 100}}); s.MeanPrefetchAcc != 0 {
+		t.Errorf("accuracy with no prefetching runs = %v, want 0", s.MeanPrefetchAcc)
+	}
+}

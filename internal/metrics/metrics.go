@@ -164,7 +164,10 @@ type Summary struct {
 	// min/max alone hide how tightly the seeds cluster.
 	StdDevJCT float64
 	// MeanPrefetchAcc averages each run's prefetch accuracy (used /
-	// issued). Runs that issued no prefetches contribute 0.
+	// issued) over the runs that issued prefetches; zero when none did.
+	// Runs without prefetches say nothing about accuracy — folding
+	// them in as zeros deflated the mean for policies that prefetch
+	// only under some seeds.
 	MeanPrefetchAcc float64
 }
 
@@ -176,11 +179,15 @@ func Aggregate(runs []Run) Summary {
 	}
 	s := Summary{N: len(runs), MinJCT: runs[0].JCT, MaxJCT: runs[0].JCT}
 	var jct, hit, ev, acc float64
+	prefetchers := 0
 	for _, r := range runs {
 		jct += float64(r.JCT)
 		hit += r.HitRatio()
 		ev += float64(r.Evictions)
-		acc += r.PrefetchAccuracy()
+		if r.PrefetchIssued > 0 {
+			acc += r.PrefetchAccuracy()
+			prefetchers++
+		}
 		if r.JCT < s.MinJCT {
 			s.MinJCT = r.JCT
 		}
@@ -191,7 +198,9 @@ func Aggregate(runs []Run) Summary {
 	s.MeanJCT = jct / float64(s.N)
 	s.MeanHit = hit / float64(s.N)
 	s.MeanEvicted = ev / float64(s.N)
-	s.MeanPrefetchAcc = acc / float64(s.N)
+	if prefetchers > 0 {
+		s.MeanPrefetchAcc = acc / float64(prefetchers)
+	}
 	var ss float64
 	for _, r := range runs {
 		d := float64(r.JCT) - s.MeanJCT

@@ -29,15 +29,28 @@ type Ref struct {
 	Job   int
 }
 
+// Less orders references by stage, breaking ties by job, so the order
+// of a read schedule is a property of the references themselves and
+// never of insertion order.
+func (r Ref) Less(o Ref) bool {
+	if r.Stage != o.Stage {
+		return r.Stage < o.Stage
+	}
+	return r.Job < o.Job
+}
+
 // Profile holds the reference schedule of every cached RDD known so
 // far. In recurring mode the profile covers the whole application DAG
 // up front; in ad-hoc mode jobs are added one at a time as they are
 // submitted, exactly as the paper's AppProfiler receives them from the
 // DAGScheduler.
 type Profile struct {
-	reads    map[int][]Ref // rddID -> reads sorted by stage
+	reads    map[int][]Ref // rddID -> reads sorted by (stage, job)
 	creation map[int]Ref   // rddID -> stage/job of first compute
 	created  map[int]bool  // tracks creation while scanning stages in order
+	// version counts mutations; incremental consumers (the manager's
+	// MRD_Table cursors) use it to detect profile growth cheaply.
+	version int
 }
 
 // NewProfile returns an empty profile ready for AddJob calls (ad-hoc
@@ -66,20 +79,37 @@ func FromGraph(g *dag.Graph) *Profile {
 // frontier (the same truncation Spark's iterator performs) and first
 // computations are recorded as creations, not reads.
 func (p *Profile) AddJob(j *dag.Job) {
+	p.version++
+	var resort []int
 	for _, s := range j.NewStages {
 		reads, creates := dag.StageFrontier(s, func(id int) bool { return p.created[id] })
 		for _, r := range reads {
-			p.reads[r.ID] = append(p.reads[r.ID], Ref{Stage: s.ID, Job: j.ID})
+			rs := p.reads[r.ID]
+			ref := Ref{Stage: s.ID, Job: j.ID}
+			// Jobs arrive in submission order and stage IDs grow within
+			// a job, so appends almost always keep the schedule sorted;
+			// only an out-of-order arrival forces a re-sort below. The
+			// old code re-sorted every RDD's schedule on every AddJob —
+			// and with a non-stable sort comparing stages only, which
+			// left the order of same-stage refs unspecified.
+			if n := len(rs); n > 0 && ref.Less(rs[n-1]) {
+				resort = append(resort, r.ID)
+			}
+			p.reads[r.ID] = append(rs, ref)
 		}
 		for _, r := range creates {
 			p.created[r.ID] = true
 			p.creation[r.ID] = Ref{Stage: s.ID, Job: j.ID}
 		}
 	}
-	for id := range p.reads {
-		sort.Slice(p.reads[id], func(a, b int) bool { return p.reads[id][a].Stage < p.reads[id][b].Stage })
+	for _, id := range resort {
+		rs := p.reads[id]
+		sort.SliceStable(rs, func(a, b int) bool { return rs[a].Less(rs[b]) })
 	}
 }
+
+// Version returns the profile's mutation counter.
+func (p *Profile) Version() int { return p.version }
 
 // RDDs returns the IDs of every cached RDD the profile has seen, in
 // ascending order.

@@ -113,6 +113,62 @@ func TestAdHocPrefixSeesOnlySubmittedJobs(t *testing.T) {
 	}
 }
 
+// TestAddJobSameStageRefsDeterministic is the regression test for the
+// AddJob sort bug: the old code re-sorted every schedule with a
+// non-stable sort.Slice comparing stages only, so two references in
+// the same stage (possible for hand-built or replayed jobs) landed in
+// unspecified order. Schedules must be (Stage, Job)-sorted regardless
+// of the order jobs are folded in.
+func TestAddJobSameStageRefsDeterministic(t *testing.T) {
+	// Hand-built jobs (bypassing the DAGScheduler, which never reuses a
+	// stage ID): x is created by stage 0, then read by stage 5 in jobs
+	// 1 and 2 — a same-stage tie — and by the out-of-order stage 3 in
+	// job 3, which forces a re-sort.
+	x := &dag.RDD{ID: 0, Cached: true}
+	creator := &dag.Stage{ID: 0, Target: x}
+	reader := func(stageID, rddID int) *dag.Stage {
+		r := &dag.RDD{ID: rddID, Deps: []dag.Dependency{{Parent: x, Type: dag.Narrow}}}
+		return &dag.Stage{ID: stageID, Target: r}
+	}
+	jobs := []*dag.Job{
+		{ID: 0, NewStages: []*dag.Stage{creator}},
+		{ID: 1, NewStages: []*dag.Stage{reader(5, 1)}},
+		{ID: 2, NewStages: []*dag.Stage{reader(5, 2)}},
+		{ID: 3, NewStages: []*dag.Stage{reader(3, 3)}},
+	}
+
+	want := []Ref{{Stage: 3, Job: 3}, {Stage: 5, Job: 1}, {Stage: 5, Job: 2}}
+	for _, order := range [][]int{{0, 1, 2, 3}, {0, 3, 1, 2}, {0, 2, 3, 1}} {
+		p := NewProfile()
+		for _, i := range order {
+			p.AddJob(jobs[i])
+		}
+		got := p.Reads(x.ID)
+		if len(got) != len(want) {
+			t.Fatalf("order %v: reads = %v, want %v", order, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order %v: reads = %v, want %v", order, got, want)
+			}
+		}
+	}
+}
+
+func TestProfileVersionCountsMutations(t *testing.T) {
+	g, _ := iterativeGraph(3)
+	p := NewProfile()
+	if p.Version() != 0 {
+		t.Errorf("fresh profile version = %d", p.Version())
+	}
+	for i, j := range g.Jobs {
+		p.AddJob(j)
+		if p.Version() != i+1 {
+			t.Errorf("after %d jobs version = %d", i+1, p.Version())
+		}
+	}
+}
+
 func TestStatsLinearCase(t *testing.T) {
 	g, _ := iterativeGraph(3)
 	st := FromGraph(g).Stats()

@@ -6,40 +6,29 @@
 // prefetches) the cache-management policies compete on.
 package sim
 
-import "container/heap"
-
 // Engine is a minimal deterministic discrete-event loop. Events fire
 // in timestamp order; ties break in scheduling order, which keeps runs
 // reproducible bit for bit.
+//
+// Events live in a reusable slab arena; the priority queue is a binary
+// heap of int32 slab indices. Compared to the original container/heap
+// implementation this removes the two interface-boxing allocations per
+// event (Push and Pop both box a 24-byte struct into `any`), and both
+// the slab and the heap reuse their backing arrays across the whole
+// run, so a warmed engine schedules and fires events allocation-free
+// (see TestEngineSteadyStateAllocs).
 type Engine struct {
 	now    int64 // microseconds of simulated time
 	nextID int64
-	queue  eventHeap
+	slab   []event // arena; slot i holds the event heap entries point at
+	free   []int32 // recycled slab slots
+	heap   []int32 // binary heap of slab indices ordered by (at, seq)
 }
 
 type event struct {
 	at  int64
 	seq int64
 	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }
 
 // NewEngine returns an engine at time zero.
@@ -54,8 +43,19 @@ func (e *Engine) At(t int64, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	heap.Push(&e.queue, event{at: t, seq: e.nextID, fn: fn})
+	ev := event{at: t, seq: e.nextID, fn: fn}
 	e.nextID++
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slab[idx] = ev
+	} else {
+		idx = int32(len(e.slab))
+		e.slab = append(e.slab, ev)
+	}
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
 }
 
 // After schedules fn d microseconds from now.
@@ -64,8 +64,14 @@ func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
 // Run processes events until the queue drains, returning the final
 // simulated time.
 func (e *Engine) Run() int64 {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(event)
+	for len(e.heap) > 0 {
+		idx := e.pop()
+		ev := e.slab[idx]
+		// Clear the popped slot before firing: the slab must not keep
+		// the closure (and everything it captures) live until the slot
+		// is recycled.
+		e.slab[idx] = event{}
+		e.free = append(e.free, idx)
 		e.now = ev.at
 		ev.fn()
 	}
@@ -73,4 +79,68 @@ func (e *Engine) Run() int64 {
 }
 
 // Pending returns the number of queued events (test helper).
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// less orders two slab slots by (timestamp, scheduling order). Both
+// fields together form a strict total order, so any heap yields the
+// same pop sequence.
+func (e *Engine) less(i, j int32) bool {
+	a, b := &e.slab[i], &e.slab[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum slab index from the heap.
+func (e *Engine) pop() int32 {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	// Sift the relocated last element down.
+	h = e.heap
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && e.less(h[r], h[l]) {
+			min = r
+		}
+		if !e.less(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// slabLive returns how many slab slots still hold a closure (test
+// helper: after Run drains the queue it must be zero, or popped events
+// would pin their captured state until the slot is recycled).
+func (e *Engine) slabLive() int {
+	live := 0
+	for i := range e.slab {
+		if e.slab[i].fn != nil {
+			live++
+		}
+	}
+	return live
+}

@@ -1,5 +1,37 @@
 package sim
 
+// queue is an allocation-friendly FIFO: a slice with a head index.
+// Popping clears the vacated slot (so completed callbacks are
+// GC-reclaimable) and the backing array is reused — either by
+// resetting when the queue drains or by compacting once the dead
+// prefix dominates — instead of the repeated re-allocation the old
+// `q = q[1:]; append(q, ...)` pattern caused.
+type queue[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *queue[T]) push(v T) { q.buf = append(q.buf, v) }
+
+func (q *queue[T]) len() int { return len(q.buf) - q.head }
+
+func (q *queue[T]) pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head > 32 && q.head*2 >= len(q.buf):
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}
+
 // Slots models a node's CPU task slots (Spark executor cores) as a
 // counting semaphore with a FIFO wait queue. A task holds its slot for
 // its entire lifetime — I/O waits included — matching Spark's
@@ -7,7 +39,7 @@ package sim
 type Slots struct {
 	eng     *Engine
 	free    int
-	waiting []func()
+	waiting queue[func()]
 }
 
 // NewSlots creates a slot pool of the given width.
@@ -21,17 +53,15 @@ func (s *Slots) Acquire(fn func()) {
 		fn()
 		return
 	}
-	s.waiting = append(s.waiting, fn)
+	s.waiting.push(fn)
 }
 
 // Release frees a slot, handing it to the oldest waiter if any. The
 // waiter runs in a fresh event at the current time so release sites
 // don't nest arbitrarily deep.
 func (s *Slots) Release() {
-	if len(s.waiting) > 0 {
-		next := s.waiting[0]
-		s.waiting = s.waiting[1:]
-		s.eng.After(0, next)
+	if s.waiting.len() > 0 {
+		s.eng.After(0, s.waiting.pop())
 		return
 	}
 	s.free++
@@ -41,7 +71,7 @@ func (s *Slots) Release() {
 func (s *Slots) Free() int { return s.free }
 
 // Waiting returns the number of queued acquirers (test helper).
-func (s *Slots) Waiting() int { return len(s.waiting) }
+func (s *Slots) Waiting() int { return s.waiting.len() }
 
 // Priority classes for device requests: demand I/O (tasks blocked on
 // it) is always served before background I/O (prefetches, write-behind
@@ -69,8 +99,13 @@ type Device struct {
 	eng         *Engine
 	bytesPerSec int64
 	busy        bool
-	demand      []ioReq
-	background  []ioReq
+	demand      queue[ioReq]
+	background  queue[ioReq]
+	// cur is the completion callback of the request in service;
+	// completeFn is the service-end event handler, bound once at
+	// construction so entering service allocates no closure.
+	cur        func()
+	completeFn func()
 	// slow multiplies service times (>= 1); fault injection uses it to
 	// model transient stragglers (a degraded disk or congested NIC).
 	slow float64
@@ -82,7 +117,9 @@ type Device struct {
 // NewDevice creates a device with the given bandwidth in bytes per
 // second of simulated time.
 func NewDevice(eng *Engine, bytesPerSec int64) *Device {
-	return &Device{eng: eng, bytesPerSec: bytesPerSec, slow: 1}
+	d := &Device{eng: eng, bytesPerSec: bytesPerSec, slow: 1}
+	d.completeFn = d.complete
+	return d
 }
 
 // SetSlowdown sets the service-time multiplier; factors below 1 are
@@ -108,9 +145,9 @@ func (d *Device) Transfer(bytes int64, prio Priority, done func()) {
 	}
 	req := ioReq{bytes: bytes, done: done}
 	if prio == Demand {
-		d.demand = append(d.demand, req)
+		d.demand.push(req)
 	} else {
-		d.background = append(d.background, req)
+		d.background.push(req)
 	}
 	d.serve()
 }
@@ -121,12 +158,10 @@ func (d *Device) serve() {
 	}
 	var req ioReq
 	switch {
-	case len(d.demand) > 0:
-		req = d.demand[0]
-		d.demand = d.demand[1:]
-	case len(d.background) > 0:
-		req = d.background[0]
-		d.background = d.background[1:]
+	case d.demand.len() > 0:
+		req = d.demand.pop()
+	case d.background.len() > 0:
+		req = d.background.pop()
 	default:
 		return
 	}
@@ -139,14 +174,22 @@ func (d *Device) serve() {
 		dur = 1
 	}
 	d.Busy += dur
-	d.eng.After(dur, func() {
-		d.busy = false
-		req.done()
-		d.serve()
-	})
+	d.cur = req.done
+	d.eng.After(dur, d.completeFn)
+}
+
+// complete ends the in-service request: identical ordering to the old
+// per-request closure (clear busy, fire the callback — which may
+// enqueue and immediately start new work — then serve the queue).
+func (d *Device) complete() {
+	done := d.cur
+	d.cur = nil
+	d.busy = false
+	done()
+	d.serve()
 }
 
 // QueueLen returns pending request counts (test helper).
 func (d *Device) QueueLen() (demand, background int) {
-	return len(d.demand), len(d.background)
+	return d.demand.len(), d.background.len()
 }

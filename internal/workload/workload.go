@@ -71,6 +71,11 @@ type Spec struct {
 	InputBytes int64
 	Iterations int // iterations actually used (0 = not iterative)
 	Graph      *dag.Graph
+	// Params records the generation parameters the Spec was built with.
+	// Generation is a pure function of (Name, Params), so the pair is a
+	// complete identity for the DAG — what lets experiment runners
+	// memoize simulations.
+	Params Params
 }
 
 // Generator builds a workload DAG.
@@ -134,6 +139,7 @@ func Build(name string, p Params) (*Spec, error) {
 		return nil, err
 	}
 	spec := gen(p)
+	spec.Params = p
 	if p.Seed != 0 {
 		perturb(spec.Graph, p.Seed)
 	}
