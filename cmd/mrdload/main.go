@@ -1,0 +1,212 @@
+// Command mrdload replays benchmark workloads against a running
+// mrdserver as N concurrent advisory sessions, measuring throughput and
+// latency. With -parity every server decision is cross-checked
+// byte-for-byte against an in-process advisor replaying the identical
+// schedule — the subsystem's correctness oracle: if the server's advice
+// ever diverges from the library, mrdload exits nonzero.
+//
+// Usage:
+//
+//	mrdload -sessions 8 -workload scc -parity
+//	mrdload -sessions 64 -workload all -parity
+//	mrdload -addr http://127.0.0.1:7788 -workload hibench -policy LRU
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/experiments"
+	"mrdspark/internal/service"
+	"mrdspark/internal/service/client"
+	"mrdspark/internal/workload"
+)
+
+// groups maps the -workload presets to benchmark lists; any other
+// value is taken as one literal workload name.
+var groups = map[string][]string{
+	"scc":     {"SCC"},
+	"hibench": {"HB-Sort", "HB-WordCount", "HB-TeraSort", "HB-PageRank", "HB-Bayes", "HB-KMeans"},
+	"mllib":   {"KM", "LinR", "LogR", "SVM", "DT", "MF"},
+}
+
+func init() {
+	groups["all"] = append(append(append([]string{}, groups["scc"]...), groups["hibench"]...), groups["mllib"]...)
+}
+
+// sessionResult is one worker's tally.
+type sessionResult struct {
+	workload   string
+	advances   int
+	checked    int
+	mismatches []string
+	latencies  []time.Duration
+	err        error
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7788", "mrdserver base URL")
+	sessions := flag.Int("sessions", 8, "concurrent sessions to run")
+	group := flag.String("workload", "scc", "workload group (scc, hibench, mllib, all) or one workload name")
+	parity := flag.Bool("parity", false, "cross-check every server decision against an in-process advisor")
+	nodes := flag.Int("nodes", 4, "modeled worker nodes per session")
+	cache := flag.Int64("cache", 128, "modeled per-node cache in MB")
+	policyKind := flag.String("policy", "MRD", "cache policy kind for every session")
+	flag.Parse()
+
+	names, ok := groups[strings.ToLower(*group)]
+	if !ok {
+		names = []string{*group}
+	}
+	advCfg := service.AdvisorConfig{
+		Nodes:      *nodes,
+		CacheBytes: *cache * cluster.MB,
+		Policy:     experiments.PolicySpec{Kind: *policyKind},
+	}
+	c := client.New(client.Config{BaseURL: *addr})
+
+	fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %s, policy %s, parity %v\n",
+		*sessions, *group, len(names), *addr, *policyKind, *parity)
+
+	start := time.Now()
+	results := make([]sessionResult, *sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds mean each session is "the same workflow over
+			// new data" — the paper's recurring-application model.
+			params := workload.Params{Seed: int64(i + 1)}
+			results[i] = runSession(c, names[i%len(names)], params, advCfg, *parity)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var advances, checked, failed int
+	var mismatches []string
+	var latencies []time.Duration
+	for _, r := range results {
+		advances += r.advances
+		checked += r.checked
+		latencies = append(latencies, r.latencies...)
+		mismatches = append(mismatches, r.mismatches...)
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "mrdload: session %s failed: %v\n", r.workload, r.err)
+		}
+	}
+
+	okSessions := *sessions - failed
+	fmt.Printf("sessions:      %d ok, %d failed (%.1f sessions/s)\n",
+		okSessions, failed, float64(okSessions)/elapsed.Seconds())
+	fmt.Printf("advice calls:  %d (%.1f calls/s)\n", advances, float64(advances)/elapsed.Seconds())
+	fmt.Printf("latency:       p50 %v  p99 %v\n", percentile(latencies, 50), percentile(latencies, 99))
+	if *parity {
+		fmt.Printf("parity:        %d advice checked, %d mismatches\n", checked, len(mismatches))
+		for i, m := range mismatches {
+			if i == 5 {
+				fmt.Fprintf(os.Stderr, "mrdload: ... %d more mismatches\n", len(mismatches)-5)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "mrdload: MISMATCH %s\n", m)
+		}
+	}
+	if failed > 0 || len(mismatches) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSession creates one server session, replays the workload's
+// canonical schedule through the HTTP API, and (under -parity) compares
+// every advice fingerprint against the in-process oracle.
+func runSession(c *client.Client, name string, params workload.Params, cfg service.AdvisorConfig, parity bool) sessionResult {
+	res := sessionResult{workload: name}
+	ctx := context.Background()
+
+	spec, err := workload.Build(name, params)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	var oracle *service.Advisor
+	if parity {
+		// The oracle gets its own DAG instance: nothing is shared with the
+		// request path, so agreement can only come from determinism.
+		ospec, err := workload.Build(name, params)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if oracle, err = service.NewAdvisor(ospec.Graph, cfg); err != nil {
+			res.err = err
+			return res
+		}
+	}
+
+	created, err := c.CreateSession(ctx, service.CreateSessionRequest{Workload: name, Params: params, Advisor: cfg})
+	if err != nil {
+		res.err = fmt.Errorf("create: %w", err)
+		return res
+	}
+	defer c.DeleteSession(ctx, created.ID)
+
+	for _, st := range service.Schedule(spec.Graph) {
+		if st.Stage < 0 {
+			if _, err := c.SubmitJob(ctx, created.ID, st.Job); err != nil {
+				res.err = fmt.Errorf("job %d: %w", st.Job, err)
+				return res
+			}
+			if oracle != nil {
+				if err := oracle.SubmitJob(st.Job); err != nil {
+					res.err = err
+					return res
+				}
+			}
+			continue
+		}
+		t0 := time.Now()
+		got, err := c.Advance(ctx, created.ID, st.Stage)
+		res.latencies = append(res.latencies, time.Since(t0))
+		if err != nil {
+			res.err = fmt.Errorf("stage %d: %w", st.Stage, err)
+			return res
+		}
+		res.advances++
+		if oracle != nil {
+			want, err := oracle.Advance(st.Stage)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			res.checked++
+			if g, w := got.Fingerprint(), want.Fingerprint(); g != w {
+				res.mismatches = append(res.mismatches,
+					fmt.Sprintf("%s seed=%d stage=%d\n  server: %s\n  oracle: %s", name, params.Seed, st.Stage, g, w))
+			}
+		}
+	}
+	return res
+}
+
+// percentile returns the p-th percentile latency (nearest-rank).
+func percentile(d []time.Duration, p int) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	ix := (len(s)*p + 99) / 100
+	if ix > 0 {
+		ix--
+	}
+	return s[ix]
+}

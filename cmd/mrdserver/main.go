@@ -1,0 +1,74 @@
+// Command mrdserver runs the online cache-advisory service: a
+// long-running, multi-tenant HTTP server that external applications
+// register their DAGs with and consult at every stage boundary for
+// eviction victims and prefetch plans.
+//
+// Usage:
+//
+//	mrdserver -addr 127.0.0.1:7788
+//	curl -s localhost:7788/healthz
+//	curl -s localhost:7788/metrics
+//
+// SIGTERM or SIGINT drains in-flight requests and exits cleanly,
+// logging "drained" once the listener is down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mrdspark/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7788", "listen address")
+	maxSessions := flag.Int("max-sessions", service.DefaultMaxSessions, "LRU bound on live sessions")
+	idle := flag.Duration("idle-timeout", service.DefaultIdleTimeout, "evict sessions idle longer than this (negative disables)")
+	inflight := flag.Int("max-inflight", service.DefaultMaxInflight, "concurrent-request cap; excess requests are shed with 503")
+	reqTimeout := flag.Duration("request-timeout", service.DefaultRequestTimeout, "per-request timeout")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
+	flag.Parse()
+
+	srv := service.NewServer(service.ServerConfig{
+		Registry:       service.RegistryConfig{MaxSessions: *maxSessions, IdleTimeout: *idle},
+		MaxInflight:    *inflight,
+		RequestTimeout: *reqTimeout,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mrdserver: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("mrdserver: listening on %s (max-sessions=%d, max-inflight=%d)", ln.Addr(), *maxSessions, *inflight)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("mrdserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("mrdserver: signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Fatalf("mrdserver: drain failed: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mrdserver: %v", err)
+	}
+	log.Printf("mrdserver: drained")
+}

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	name := flag.String("workload", "PR", "workload name (see -list)")
-	policy := flag.String("policy", "MRD", "cache policy (see -list)")
+	policy := flag.String("policy", "MRD", "cache policy: "+strings.Join(mrdspark.Policies(), ", "))
 	clusterName := flag.String("cluster", "main", "cluster preset: main, lrc, memtune")
 	cache := flag.String("cache", "", "per-node cache size, e.g. 512M or 1G (default: preset's)")
 	iters := flag.Int("iterations", 0, "override the workload's iteration parameter")

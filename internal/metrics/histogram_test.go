@@ -148,7 +148,7 @@ func TestSummaryPrefetchAccIgnoresNonPrefetchingRuns(t *testing.T) {
 	runs := []Run{
 		{JCT: 100, PrefetchIssued: 4, PrefetchUsed: 2}, // accuracy 0.5
 		{JCT: 100, PrefetchIssued: 2, PrefetchUsed: 2}, // accuracy 1.0
-		{JCT: 100},                                     // no prefetches: excluded
+		{JCT: 100}, // no prefetches: excluded
 		{JCT: 100},
 	}
 	if s := Aggregate(runs); s.MeanPrefetchAcc != 0.75 {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sort"
+	"sync"
 
 	"mrdspark/internal/block"
 	"mrdspark/internal/metrics"
@@ -25,8 +26,13 @@ var (
 // Aggregator is a streaming bus subscriber that folds the event stream
 // into per-stage and per-node statistics, per-node stage lanes for the
 // timeline report, and the four run histograms. Subscribe it with
-// Attach; read the results after the run.
+// Attach; read the results after the run — or, for a live view while
+// events are still flowing (the advisory server's /metrics endpoint),
+// take a detached copy with Snapshot. Observe and every accessor hold
+// the aggregator's mutex, so one aggregator may be fed from multiple
+// buses and read concurrently.
 type Aggregator struct {
+	mu      sync.Mutex
 	stages  []metrics.StageStats
 	stageIx map[int]int // stage ID -> latest index in stages
 
@@ -91,8 +97,10 @@ func (a *Aggregator) stage(ev Event) *metrics.StageStats {
 }
 
 // Observe folds one event into the aggregates. It is the bus
-// subscriber.
+// subscriber, safe to call from concurrent buses.
 func (a *Aggregator) Observe(ev Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	switch ev.Kind {
 	case KindStageStart:
 		// A stage ID can re-execute across recurring jobs; each
@@ -232,6 +240,8 @@ func (a *Aggregator) dropIssued(ev Event) {
 // it once per node when the run completes (busy time lives in the
 // device queues, not in events).
 func (a *Aggregator) SetNodeBusy(node int, diskUs, netUs int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	n := a.node(node)
 	n.DiskBusyUs = diskUs
 	n.NetBusyUs = netUs
@@ -239,11 +249,15 @@ func (a *Aggregator) SetNodeBusy(node int, diskUs, netUs int64) {
 
 // StageStats returns the per-stage statistics in execution order.
 func (a *Aggregator) StageStats() []metrics.StageStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return append([]metrics.StageStats(nil), a.stages...)
 }
 
 // NodeStats returns the per-node statistics ordered by node index.
 func (a *Aggregator) NodeStats() []metrics.NodeStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make([]metrics.NodeStats, 0, len(a.nodes))
 	for _, n := range a.nodes {
 		out = append(out, *n)
@@ -255,6 +269,8 @@ func (a *Aggregator) NodeStats() []metrics.NodeStats {
 // Lanes returns the per-node stage activity spans, ordered by node
 // then start time — the rows of the report's per-node timeline.
 func (a *Aggregator) Lanes() []metrics.NodeStageSpan {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make([]metrics.NodeStageSpan, 0, len(a.lanes))
 	for _, ln := range a.lanes {
 		out = append(out, *ln)
@@ -271,9 +287,57 @@ func (a *Aggregator) Lanes() []metrics.NodeStageSpan {
 	return out
 }
 
-// Histograms returns the four run histograms in a stable order.
+// Histograms returns the four run histograms in a stable order. The
+// pointers are live: read them after the run has quiesced, or call
+// Histograms on a Snapshot for a concurrent-safe view.
 func (a *Aggregator) Histograms() []*metrics.Histogram {
 	return []*metrics.Histogram{a.EvictDistance, a.PrefetchLead, a.FetchLatency, a.RecoveryTime}
+}
+
+// Snapshot returns a detached deep copy of the aggregates, safe to read
+// (or render with WritePrometheus) while events keep flowing into the
+// original.
+func (a *Aggregator) Snapshot() *Aggregator {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := &Aggregator{
+		stages:        append([]metrics.StageStats(nil), a.stages...),
+		stageIx:       make(map[int]int, len(a.stageIx)),
+		nodes:         make(map[int]*metrics.NodeStats, len(a.nodes)),
+		lanes:         make(map[[2]int]*metrics.NodeStageSpan, len(a.lanes)),
+		EvictDistance: cloneHistogram(a.EvictDistance),
+		PrefetchLead:  cloneHistogram(a.PrefetchLead),
+		FetchLatency:  cloneHistogram(a.FetchLatency),
+		RecoveryTime:  cloneHistogram(a.RecoveryTime),
+		issued:        make(map[block.ID]int64, len(a.issued)),
+		lost:          make(map[block.ID]int64, len(a.lost)),
+	}
+	for k, v := range a.stageIx {
+		s.stageIx[k] = v
+	}
+	for k, v := range a.nodes {
+		n := *v
+		s.nodes[k] = &n
+	}
+	for k, v := range a.lanes {
+		ln := *v
+		s.lanes[k] = &ln
+	}
+	for k, v := range a.issued {
+		s.issued[k] = v
+	}
+	for k, v := range a.lost {
+		s.lost[k] = v
+	}
+	return s
+}
+
+// cloneHistogram deep-copies a histogram's counts; the immutable bucket
+// layout is shared.
+func cloneHistogram(h *metrics.Histogram) *metrics.Histogram {
+	c := *h
+	c.Counts = append([]int64(nil), h.Counts...)
+	return &c
 }
 
 // SynthesizeRun reconstructs the headline run counters from the
@@ -281,6 +345,8 @@ func (a *Aggregator) Histograms() []*metrics.Histogram {
 // original metrics.Run is not available. I/O volumes and wall time
 // live outside the event stream and stay zero.
 func (a *Aggregator) SynthesizeRun(workload, policy string) metrics.Run {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	r := metrics.Run{Workload: workload, Policy: policy}
 	jobs := map[int]bool{}
 	for _, st := range a.stages {

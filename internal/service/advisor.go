@@ -1,0 +1,490 @@
+// Package service is the online cache-advisory subsystem: the paper's
+// MRDmanager lifted out of the batch simulator and exposed as a
+// long-running, multi-tenant server (cmd/mrdserver) that external
+// applications consult over HTTP at every stage boundary, exactly the
+// controller shape LRC and LERC deploy beside Spark's driver.
+//
+// The heart of the package is the Advisor: a deterministic advisory
+// session that owns one application's DAG, a pluggable cache policy
+// (experiments.PolicySpec — MRD and every baseline), and a model of the
+// cluster's cache state built from the same cluster.MemoryStore /
+// cluster.DiskStore components the simulator runs on. Feeding the same
+// jobs and stage boundaries to two Advisors — one behind the server,
+// one in-process — must produce byte-for-byte identical decision logs;
+// cmd/mrdload uses exactly that as its parity oracle.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/experiments"
+	"mrdspark/internal/obs"
+	"mrdspark/internal/policy"
+	"mrdspark/internal/workload"
+)
+
+// AdvisorConfig shapes the advisory session's cluster model and
+// policy. The zero value is normalized by Normalize.
+type AdvisorConfig struct {
+	// Nodes is the modeled worker count; 0 means DefaultNodes.
+	Nodes int `json:"nodes,omitempty"`
+	// CacheBytes is the per-node memory-store capacity; 0 means
+	// DefaultCacheBytes.
+	CacheBytes int64 `json:"cacheBytes,omitempty"`
+	// Policy selects the cache policy; the zero value means full MRD in
+	// recurring mode.
+	Policy experiments.PolicySpec `json:"policy"`
+}
+
+// Advisory-model defaults.
+const (
+	DefaultNodes      = 8
+	DefaultCacheBytes = 256 * cluster.MB
+)
+
+// Normalize fills zero fields with defaults and validates the rest.
+func (c AdvisorConfig) Normalize() (AdvisorConfig, error) {
+	if c.Nodes == 0 {
+		c.Nodes = DefaultNodes
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.Policy.Kind == "" {
+		c.Policy.Kind = "MRD"
+	}
+	if c.Nodes < 0 || c.CacheBytes < 0 {
+		return c, fmt.Errorf("service: negative cluster shape (nodes=%d, cacheBytes=%d)", c.Nodes, c.CacheBytes)
+	}
+	return c, nil
+}
+
+// Decision is one cache-management action the advisor issued during a
+// stage advance, in issue order. Kind is one of:
+//
+//	"purge"          — manager all-out purge of a dead block
+//	"evict"          — demand eviction making room for an insert
+//	"prefetch"       — prefetch order that landed in free memory
+//	"prefetch-evict" — eviction performed by a forced prefetch arrival
+//	"prefetch-drop"  — prefetch order refused by the arbiter/victim walk
+type Decision struct {
+	Kind  string `json:"kind"`
+	Node  int    `json:"node"`
+	Block string `json:"block"`
+}
+
+// Counters summarize the modeled stage execution that followed the
+// manager's decisions.
+type Counters struct {
+	Hits       int `json:"hits"`
+	Misses     int `json:"misses"`
+	Promotes   int `json:"promotes"`
+	Recomputes int `json:"recomputes"`
+	Inserts    int `json:"inserts"`
+	Evictions  int `json:"evictions"`
+	Purged     int `json:"purged"`
+	Prefetches int `json:"prefetches"`
+}
+
+// Advice is the full response to one stage-boundary advance: the
+// decisions in issue order plus the resulting model counters.
+type Advice struct {
+	Stage     int        `json:"stage"`
+	Job       int        `json:"job"`
+	Decisions []Decision `json:"decisions"`
+	Counters  Counters   `json:"counters"`
+}
+
+// Fingerprint renders the advice in a canonical single-string form;
+// equal fingerprints mean byte-for-byte identical decisions. This is
+// the unit the load generator's parity oracle compares.
+func (a Advice) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stage=%d job=%d", a.Stage, a.Job)
+	for _, d := range a.Decisions {
+		fmt.Fprintf(&b, " %s:%d:%s", d.Kind, d.Node, d.Block)
+	}
+	fmt.Fprintf(&b, " | hits=%d misses=%d promotes=%d recomputes=%d inserts=%d evictions=%d purged=%d prefetches=%d",
+		a.Counters.Hits, a.Counters.Misses, a.Counters.Promotes, a.Counters.Recomputes,
+		a.Counters.Inserts, a.Counters.Evictions, a.Counters.Purged, a.Counters.Prefetches)
+	return b.String()
+}
+
+// advNode is one modeled worker: the same memory/disk store pair the
+// simulator schedules onto, minus the device queues (the advisor models
+// state, not time).
+type advNode struct {
+	mem  *cluster.MemoryStore
+	disk *cluster.DiskStore
+	pol  policy.Policy
+	// prefetched tracks blocks loaded by prefetch and not yet hit, for
+	// the manager's reportCacheStatus feedback loop.
+	prefetched map[block.ID]bool
+}
+
+// Advisor is one application's advisory session. It is not safe for
+// concurrent use; the server serializes calls per session.
+type Advisor struct {
+	graph   *dag.Graph
+	cfg     AdvisorConfig
+	factory policy.Factory
+	nodes   []*advNode
+
+	// Optional factory capabilities, resolved once.
+	stageObs policy.StageObserver
+	jobObs   policy.JobObserver
+	failObs  policy.NodeFailureObserver
+
+	stages  map[int]*dag.Stage // executed stages by ID
+	created map[int]bool       // cached RDDs materialized so far
+
+	nextJob   int // next job index expected by SubmitJob
+	lastStage int // last advanced stage ID (-1 before the first)
+
+	// Current-advance state.
+	cur     *Advice
+	pfUsed  int64
+	pfWaste int64
+
+	bus *obs.Bus // nil-safe; shared with the server's aggregator
+}
+
+// NewAdvisor builds a session over the application DAG. The config's
+// policy is instantiated against the graph exactly as the simulator
+// would instantiate it.
+func NewAdvisor(g *dag.Graph, cfg AdvisorConfig) (*Advisor, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	factory, err := buildFactory(cfg.Policy, g)
+	if err != nil {
+		return nil, err
+	}
+	a := &Advisor{
+		graph:     g,
+		cfg:       cfg,
+		factory:   factory,
+		stages:    map[int]*dag.Stage{},
+		created:   map[int]bool{},
+		lastStage: -1,
+	}
+	for _, s := range g.ExecutedStages() {
+		a.stages[s.ID] = s
+	}
+	a.stageObs, _ = factory.(policy.StageObserver)
+	a.jobObs, _ = factory.(policy.JobObserver)
+	a.failObs, _ = factory.(policy.NodeFailureObserver)
+	if ca, ok := factory.(policy.ClusterAware); ok {
+		ca.Attach(advOps{a})
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		pol := factory.NewNodePolicy(i)
+		a.nodes = append(a.nodes, &advNode{
+			mem:        cluster.NewMemoryStore(cfg.CacheBytes, pol),
+			disk:       cluster.NewDiskStore(),
+			pol:        pol,
+			prefetched: map[block.ID]bool{},
+		})
+	}
+	return a, nil
+}
+
+// buildFactory instantiates the policy spec against the DAG, mapping
+// the panic-on-unknown contract of experiments.PolicySpec.Factory into
+// an error the server can return to the client.
+func buildFactory(spec experiments.PolicySpec, g *dag.Graph) (f policy.Factory, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: %v", r)
+		}
+	}()
+	return spec.Factory(&workload.Spec{Graph: g}), nil
+}
+
+// AttachBus connects the advisor (and, when the policy supports it, the
+// policy itself) to an observability bus: every modeled cache event and
+// manager decision is emitted for the server's live /metrics endpoint.
+func (a *Advisor) AttachBus(b *obs.Bus) {
+	a.bus = b
+	if at, ok := a.factory.(obs.Attacher); ok {
+		at.AttachBus(b)
+	}
+}
+
+// Config returns the normalized session configuration.
+func (a *Advisor) Config() AdvisorConfig { return a.cfg }
+
+// PolicyName returns the instantiated policy's display name.
+func (a *Advisor) PolicyName() string { return a.factory.Name() }
+
+// Graph returns the session's application DAG.
+func (a *Advisor) Graph() *dag.Graph { return a.graph }
+
+// NextJob returns the next job index SubmitJob expects.
+func (a *Advisor) NextJob() int { return a.nextJob }
+
+// SubmitJob feeds the next job's DAG to the policy (the DAGScheduler →
+// AppProfiler hand-off; Profile.AddJob runs underneath for DAG-aware
+// policies). Jobs must be submitted in ID order.
+func (a *Advisor) SubmitJob(jobID int) error {
+	if jobID != a.nextJob {
+		return fmt.Errorf("service: job %d out of order (next is %d)", jobID, a.nextJob)
+	}
+	if jobID < 0 || jobID >= len(a.graph.Jobs) {
+		return fmt.Errorf("service: job %d does not exist (application has %d jobs)", jobID, len(a.graph.Jobs))
+	}
+	if a.jobObs != nil {
+		a.jobObs.OnJobSubmit(a.graph.Jobs[jobID])
+	}
+	a.nextJob++
+	return nil
+}
+
+// OnNodeFailure reports a worker loss to the policy (the §4.4 table
+// re-issue path) and wipes the node's modeled stores.
+func (a *Advisor) OnNodeFailure(node int) error {
+	if node < 0 || node >= len(a.nodes) {
+		return fmt.Errorf("service: node %d out of range [0,%d)", node, len(a.nodes))
+	}
+	n := a.nodes[node]
+	n.mem.Clear()
+	n.disk.Clear()
+	n.prefetched = map[block.ID]bool{}
+	if a.failObs != nil {
+		a.failObs.OnNodeFailure(node)
+	}
+	a.bus.Emit(obs.Ev(obs.KindNodeFail, node))
+	return nil
+}
+
+// Advance moves the session to the given stage boundary: the policy
+// observes the stage start (the MRD manager purges and prefetches
+// through the advisor's ClusterOps), then the stage's reads and cached
+// outputs are applied to the model cluster. Stages must arrive in
+// strictly increasing ID order and belong to an already-submitted job.
+func (a *Advisor) Advance(stageID int) (Advice, error) {
+	s, ok := a.stages[stageID]
+	if !ok {
+		return Advice{}, fmt.Errorf("service: stage %d is not an executed stage of this application", stageID)
+	}
+	if stageID <= a.lastStage {
+		return Advice{}, fmt.Errorf("service: stage %d does not advance (last was %d)", stageID, a.lastStage)
+	}
+	jobID := s.FirstJob.ID
+	if jobID >= a.nextJob {
+		return Advice{}, fmt.Errorf("service: stage %d belongs to job %d, which has not been submitted", stageID, jobID)
+	}
+	a.cur = &Advice{Stage: stageID, Job: jobID, Decisions: []Decision{}}
+	a.bus.SetStage(stageID, jobID)
+
+	// Phase 1: the policy's stage-boundary work. For MRD this is Table
+	// 2's newReferenceDistance followed by the purge and prefetch phases
+	// of Algorithm 1, arriving here as Evict/Prefetch calls on advOps.
+	if a.stageObs != nil {
+		a.stageObs.OnStageStart(stageID, jobID)
+	}
+
+	// Phase 2: model the stage's execution — demand reads against the
+	// caches, then materialization of the stage's cached outputs.
+	a.applyStage(s)
+
+	adv := *a.cur
+	a.cur = nil
+	a.lastStage = stageID
+	return adv, nil
+}
+
+// applyStage folds one executed stage into the model cluster state:
+// its cached-frontier reads (hit, promote from disk, or recompute) and
+// the cached RDDs it materializes, block by block in deterministic
+// (RDD, partition) order.
+func (a *Advisor) applyStage(s *dag.Stage) {
+	reads, creates := dag.StageFrontier(s, func(id int) bool { return a.created[id] })
+	for _, r := range reads {
+		for p := 0; p < r.NumPartitions; p++ {
+			a.readBlock(r.BlockInfo(p))
+		}
+	}
+	for _, r := range creates {
+		for p := 0; p < r.NumPartitions; p++ {
+			a.insertBlock(a.home(r.Block(p)), r.BlockInfo(p), "evict")
+		}
+		a.created[r.ID] = true
+	}
+}
+
+// readBlock models one demand read of a cached block on its home node.
+func (a *Advisor) readBlock(info block.Info) {
+	node := a.home(info.ID)
+	n := a.nodes[node]
+	if n.mem.Get(info.ID) {
+		a.cur.Counters.Hits++
+		if n.prefetched[info.ID] {
+			a.pfUsed++
+			delete(n.prefetched, info.ID)
+		}
+		a.bus.Emit(obs.BlockEv(obs.KindHit, node, info.ID, info.Size))
+		return
+	}
+	a.cur.Counters.Misses++
+	a.bus.Emit(obs.BlockEv(obs.KindMiss, node, info.ID, info.Size))
+	if n.disk.Has(info.ID) {
+		a.cur.Counters.Promotes++
+		a.bus.Emit(obs.BlockEv(obs.KindPromote, node, info.ID, info.Size))
+	} else {
+		a.cur.Counters.Recomputes++
+		a.bus.Emit(obs.BlockEv(obs.KindRecompute, node, info.ID, info.Size))
+	}
+	a.insertBlock(node, info, "evict")
+}
+
+// insertBlock puts the block into the node's memory store, recording
+// the demand evictions the insert forces. evictKind labels those
+// evictions in the decision log.
+func (a *Advisor) insertBlock(node int, info block.Info, evictKind string) {
+	n := a.nodes[node]
+	if n.mem.Contains(info.ID) {
+		return
+	}
+	evicted, ok := n.mem.Put(info)
+	for _, v := range evicted {
+		a.settleEviction(node, v, evictKind)
+	}
+	if !ok {
+		return // oversized or fully protected: the read stays uncached
+	}
+	a.cur.Counters.Inserts++
+	a.bus.Emit(obs.BlockEv(obs.KindInsert, node, info.ID, info.Size))
+}
+
+// settleEviction records one eviction's side effects: the decision log
+// entry, the MEMORY_AND_DISK spill, and prefetch-waste accounting.
+func (a *Advisor) settleEviction(node int, v block.Info, kind string) {
+	n := a.nodes[node]
+	if v.Level == block.MemoryAndDisk {
+		n.disk.Put(v.ID, v.Size)
+	}
+	if n.prefetched[v.ID] {
+		a.pfWaste++
+		delete(n.prefetched, v.ID)
+	}
+	a.record(Decision{Kind: kind, Node: node, Block: v.ID.String()})
+	a.cur.Counters.Evictions++
+	a.bus.Emit(obs.BlockEv(obs.KindEvict, node, v.ID, v.Size))
+}
+
+// record appends one decision to the current advance's log.
+func (a *Advisor) record(d Decision) { a.cur.Decisions = append(a.cur.Decisions, d) }
+
+// home returns the block's locality-preferred node — the same placement
+// rule the simulator uses, so advisory decisions and simulated runs
+// speak about the same cluster layout.
+func (a *Advisor) home(id block.ID) int { return id.Partition % len(a.nodes) }
+
+// ResidentBlocks returns the node's resident block IDs in deterministic
+// order (test and debug helper).
+func (a *Advisor) ResidentBlocks(node int) []block.ID {
+	ids := a.nodes[node].mem.Blocks()
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
+}
+
+// advOps is the policy.ClusterOps control surface over the advisor's
+// model cluster. Its Evict/Prefetch mutations are where the manager's
+// orders become decision-log entries.
+type advOps struct{ a *Advisor }
+
+var _ policy.ClusterOps = advOps{}
+
+func (o advOps) NumNodes() int             { return len(o.a.nodes) }
+func (o advOps) HomeNode(id block.ID) int  { return o.a.home(id) }
+func (o advOps) FreeBytes(node int) int64  { return o.a.nodes[node].mem.Free() }
+func (o advOps) CapacityBytes(n int) int64 { return o.a.nodes[n].mem.Capacity() }
+func (o advOps) Resident(node int, id block.ID) bool {
+	return o.a.nodes[node].mem.Contains(id)
+}
+func (o advOps) OnDisk(node int, id block.ID) bool {
+	return o.a.nodes[node].disk.Has(id)
+}
+
+// Evict implements the manager's all-out purge order.
+func (o advOps) Evict(node int, id block.ID) bool {
+	a := o.a
+	n := a.nodes[node]
+	if !n.mem.Contains(id) {
+		return false
+	}
+	info := blockInfo(a.graph, id)
+	if !n.mem.Remove(id) {
+		return false
+	}
+	if info.Level == block.MemoryAndDisk {
+		n.disk.Put(id, info.Size)
+	}
+	if n.prefetched[id] {
+		a.pfWaste++
+		delete(n.prefetched, id)
+	}
+	if a.cur != nil {
+		a.record(Decision{Kind: "purge", Node: node, Block: id.String()})
+		a.cur.Counters.Purged++
+	}
+	a.bus.Emit(obs.BlockEv(obs.KindPurge, node, id, info.Size))
+	return true
+}
+
+// Prefetch implements the manager's prefetch order: the block loads
+// from local disk, evicting through the node's policy (arbitrated when
+// the policy implements PrefetchArbiter) when it must.
+func (o advOps) Prefetch(node int, info block.Info) {
+	a := o.a
+	n := a.nodes[node]
+	if n.mem.Contains(info.ID) || !n.disk.Has(info.ID) {
+		return
+	}
+	var evicted []block.Info
+	var ok bool
+	if arb, isArb := n.pol.(policy.PrefetchArbiter); isArb {
+		evicted, ok = n.mem.PutGuarded(info, func(v block.ID) bool {
+			return arb.AllowPrefetchEviction(info, v)
+		})
+	} else {
+		evicted, ok = n.mem.Put(info)
+	}
+	for _, v := range evicted {
+		a.settleEviction(node, v, "prefetch-evict")
+	}
+	if !ok {
+		if a.cur != nil {
+			a.record(Decision{Kind: "prefetch-drop", Node: node, Block: info.ID.String()})
+		}
+		return
+	}
+	n.prefetched[info.ID] = true
+	if a.cur != nil {
+		a.record(Decision{Kind: "prefetch", Node: node, Block: info.ID.String()})
+		a.cur.Counters.Prefetches++
+	}
+	a.bus.Emit(obs.BlockEv(obs.KindPrefetchIssue, node, info.ID, info.Size))
+	a.bus.Emit(obs.BlockEv(obs.KindPrefetchArrive, node, info.ID, info.Size))
+}
+
+// PrefetchOutcomes reports the cluster-wide prefetch feedback the
+// dynamic-threshold controller consumes.
+func (o advOps) PrefetchOutcomes() (used, wasted int64) {
+	return o.a.pfUsed, o.a.pfWaste
+}
+
+// blockInfo reconstructs a block's cache metadata from the DAG.
+func blockInfo(g *dag.Graph, id block.ID) block.Info {
+	if id.RDD < 0 || id.RDD >= len(g.RDDs) {
+		return block.Info{ID: id}
+	}
+	return g.RDDs[id.RDD].BlockInfo(id.Partition)
+}

@@ -1,0 +1,161 @@
+// Package client is the typed Go client of the cache-advisory server's
+// /v1 HTTP API, with retry/backoff on shed (503) and transport errors
+// driven by the same fault.Schedule backoff parameters the simulator's
+// fetch-retry path uses.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mrdspark/internal/fault"
+	"mrdspark/internal/service"
+)
+
+// Config shapes a client.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7788".
+	BaseURL string
+	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// Retry tunes the retry budget and exponential backoff base; nil
+	// means the fault package defaults (3 retries, 1ms base, doubling
+	// per attempt).
+	Retry *fault.Schedule
+}
+
+// Client talks to one advisory server. It is safe for concurrent use.
+type Client struct {
+	base  string
+	hc    *http.Client
+	retry *fault.Schedule
+}
+
+// New builds a client.
+func New(cfg Config) *Client {
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(cfg.BaseURL, "/"), hc: hc, retry: cfg.Retry}
+}
+
+// Error is a non-2xx API response.
+type Error struct {
+	Status int
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("mrdserver: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// CreateSession registers an application and returns its session.
+func (c *Client) CreateSession(ctx context.Context, req service.CreateSessionRequest) (service.CreateSessionResponse, error) {
+	var resp service.CreateSessionResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp)
+	return resp, err
+}
+
+// SubmitJob feeds the next job to the session.
+func (c *Client) SubmitJob(ctx context.Context, sessionID string, job int) (service.SubmitJobResponse, error) {
+	var resp service.SubmitJobResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/jobs", service.SubmitJobRequest{Job: job}, &resp)
+	return resp, err
+}
+
+// Advance moves the session to a stage boundary and returns the
+// server's advice.
+func (c *Client) Advance(ctx context.Context, sessionID string, stage int) (service.Advice, error) {
+	var resp service.Advice
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/stage", service.AdvanceRequest{Stage: stage}, &resp)
+	return resp, err
+}
+
+// DeleteSession tears the session down.
+func (c *Client) DeleteSession(ctx context.Context, sessionID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, nil)
+}
+
+// Healthz fetches the server's health summary.
+func (c *Client) Healthz(ctx context.Context) (service.Healthz, error) {
+	var resp service.Healthz
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp)
+	return resp, err
+}
+
+// do issues one API call, retrying shed responses (503) and transport
+// errors with the fault schedule's exponential backoff. 503s are safe
+// to retry unconditionally — the bounded-concurrency middleware sheds
+// before any handler state changes.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retry.Retries(); attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(c.retry.Backoff()<<(attempt-1)) * time.Microsecond
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		retryable, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return fmt.Errorf("client: retries exhausted: %w", lastErr)
+}
+
+// attempt is one HTTP round trip; it reports whether a failure is worth
+// retrying.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return ctx.Err() == nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return false, nil
+		}
+		return false, json.NewDecoder(resp.Body).Decode(out)
+	}
+	apiErr := &Error{Status: resp.StatusCode, Msg: resp.Status}
+	var wire struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&wire) == nil && wire.Error != "" {
+		apiErr.Msg = wire.Error
+	}
+	return resp.StatusCode == http.StatusServiceUnavailable, apiErr
+}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestLimitInflightSheds holds one request inside the handler and
+// checks the next one is shed with 503 + Retry-After instead of
+// queueing.
+func TestLimitInflightSheds(t *testing.T) {
+	s := NewServer(ServerConfig{MaxInflight: 1})
+	defer s.Close()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := s.limitInflight(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	first := make(chan int)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		first <- rec.Code
+	}()
+	<-entered // the slot is now occupied
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("second request: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("first request: status %d, want 200", code)
+	}
+	if got := s.requests.Load(); got != 2 {
+		t.Errorf("requests counter = %d, want 2", got)
+	}
+}

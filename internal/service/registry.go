@@ -1,0 +1,190 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Session is one registered application: its advisor plus the
+// bookkeeping the registry needs. All advisor access goes through the
+// session's mutex; the registry's own lock is never held across an
+// advisor call, so slow advice computations in one session never block
+// another.
+type Session struct {
+	ID       string
+	Workload string
+	Created  time.Time
+
+	mu       sync.Mutex
+	advisor  *Advisor
+	advances int64
+
+	// lastUsed and lruElem are owned by the registry's lock.
+	lastUsed time.Time
+	lruElem  *list.Element
+}
+
+// WithAdvisor runs fn with the session's advisor under the session
+// lock.
+func (s *Session) WithAdvisor(fn func(a *Advisor) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.advisor)
+}
+
+// Advances returns how many stage advances the session has served.
+func (s *Session) Advances() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advances
+}
+
+// RegistryConfig bounds the multi-tenant session registry.
+type RegistryConfig struct {
+	// MaxSessions is the LRU bound: creating a session beyond it evicts
+	// the least-recently-used one. 0 means DefaultMaxSessions.
+	MaxSessions int
+	// IdleTimeout evicts sessions untouched for this long; 0 means
+	// DefaultIdleTimeout, negative disables idle eviction.
+	IdleTimeout time.Duration
+}
+
+// Registry defaults.
+const (
+	DefaultMaxSessions = 256
+	DefaultIdleTimeout = 15 * time.Minute
+)
+
+func (c RegistryConfig) normalize() RegistryConfig {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	return c
+}
+
+// Registry is the LRU-bounded, idle-evicting session table. It hands
+// out *Session values; callers serialize advisor access through the
+// session's own lock.
+type Registry struct {
+	cfg RegistryConfig
+	now func() time.Time // test hook
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	lru      *list.List // front = most recently used; values are *Session
+	nextID   int64
+	// Evicted counts sessions removed by the LRU bound or idle sweep
+	// (not explicit deletes), for /healthz.
+	evictedLRU  int64
+	evictedIdle int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{
+		cfg:      cfg.normalize(),
+		now:      time.Now,
+		sessions: map[string]*Session{},
+		lru:      list.New(),
+	}
+}
+
+// Create registers a new session around the advisor, evicting the
+// least-recently-used session if the registry is full.
+func (r *Registry) Create(workloadName string, a *Advisor) *Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	s := &Session{
+		ID:       fmt.Sprintf("s%d", r.nextID),
+		Workload: workloadName,
+		Created:  r.now(),
+		advisor:  a,
+		lastUsed: r.now(),
+	}
+	for len(r.sessions) >= r.cfg.MaxSessions {
+		oldest := r.lru.Back()
+		if oldest == nil {
+			break
+		}
+		r.dropLocked(oldest.Value.(*Session))
+		r.evictedLRU++
+	}
+	r.sessions[s.ID] = s
+	s.lruElem = r.lru.PushFront(s)
+	return s
+}
+
+// Get returns the session and marks it most recently used.
+func (r *Registry) Get(id string) (*Session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	s.lastUsed = r.now()
+	r.lru.MoveToFront(s.lruElem)
+	return s, true
+}
+
+// Delete removes the session; it reports whether it existed.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		return false
+	}
+	r.dropLocked(s)
+	return true
+}
+
+// SweepIdle evicts every session idle longer than the configured
+// timeout and returns how many it removed.
+func (r *Registry) SweepIdle() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.IdleTimeout < 0 {
+		return 0
+	}
+	cutoff := r.now().Add(-r.cfg.IdleTimeout)
+	n := 0
+	for e := r.lru.Back(); e != nil; {
+		s := e.Value.(*Session)
+		if !s.lastUsed.Before(cutoff) {
+			break // LRU order: everything further front is newer
+		}
+		prev := e.Prev()
+		r.dropLocked(s)
+		r.evictedIdle++
+		n++
+		e = prev
+	}
+	return n
+}
+
+// Len returns the number of live sessions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Evicted returns the cumulative LRU- and idle-eviction counts.
+func (r *Registry) Evicted() (lru, idle int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictedLRU, r.evictedIdle
+}
+
+func (r *Registry) dropLocked(s *Session) {
+	delete(r.sessions, s.ID)
+	r.lru.Remove(s.lruElem)
+	s.lruElem = nil
+}

@@ -1,0 +1,48 @@
+package service
+
+import "mrdspark/internal/dag"
+
+// Step is one action in an application's canonical replay: a job
+// submission (Stage < 0) or a stage-boundary advance.
+type Step struct {
+	Job   int
+	Stage int
+}
+
+// Schedule returns the canonical replay order of an application: each
+// job submitted in ID order, followed by the stages that job creates in
+// stage-ID order (a valid topological execution order — the order the
+// simulator executes them). The load generator drives server sessions
+// with this schedule and its in-process oracle replays the same steps,
+// so both sides ask the policy the same questions in the same order.
+func Schedule(g *dag.Graph) []Step {
+	var steps []Step
+	for _, j := range g.Jobs {
+		steps = append(steps, Step{Job: j.ID, Stage: -1})
+		for _, s := range j.NewStages {
+			steps = append(steps, Step{Job: j.ID, Stage: s.ID})
+		}
+	}
+	return steps
+}
+
+// Replay drives the advisor through the full canonical schedule and
+// returns every advice in order — the in-process side of the parity
+// check.
+func Replay(a *Advisor) ([]Advice, error) {
+	var out []Advice
+	for _, st := range Schedule(a.Graph()) {
+		if st.Stage < 0 {
+			if err := a.SubmitJob(st.Job); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		adv, err := a.Advance(st.Stage)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, adv)
+	}
+	return out, nil
+}

@@ -1,0 +1,350 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mrdspark/internal/obs"
+	"mrdspark/internal/workload"
+)
+
+// ServerConfig tunes the advisory server's protection middleware.
+type ServerConfig struct {
+	Registry RegistryConfig
+	// MaxInflight bounds concurrently served requests; excess requests
+	// get 503 + Retry-After (the client library retries with backoff).
+	// 0 means DefaultMaxInflight.
+	MaxInflight int
+	// RequestTimeout aborts requests that run longer; 0 means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// SweepEvery is the idle-session janitor period; 0 means
+	// DefaultSweepEvery.
+	SweepEvery time.Duration
+}
+
+// Server middleware defaults.
+const (
+	DefaultMaxInflight    = 64
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultSweepEvery     = time.Minute
+)
+
+func (c ServerConfig) normalize() ServerConfig {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = DefaultSweepEvery
+	}
+	return c
+}
+
+// Server is the multi-tenant cache-advisory service: a session registry
+// plus the HTTP API, with one shared observability pipeline (event bus
+// -> concurrent-safe aggregator) behind the live /metrics endpoint.
+type Server struct {
+	cfg      ServerConfig
+	registry *Registry
+	agg      *obs.Aggregator
+	started  time.Time
+	inflight chan struct{}
+	requests atomic.Int64
+	stopJan  chan struct{}
+	janDone  chan struct{}
+}
+
+// NewServer assembles a server. Call Close when done to stop the idle
+// janitor.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.normalize()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.Registry),
+		agg:      obs.NewAggregator(),
+		started:  time.Now(),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		stopJan:  make(chan struct{}),
+		janDone:  make(chan struct{}),
+	}
+	go s.janitor()
+	return s
+}
+
+// Close stops the idle-session janitor.
+func (s *Server) Close() {
+	close(s.stopJan)
+	<-s.janDone
+}
+
+// Registry exposes the session table (tests, health).
+func (s *Server) Registry() *Registry { return s.registry }
+
+func (s *Server) janitor() {
+	defer close(s.janDone)
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopJan:
+			return
+		case <-t.C:
+			s.registry.SweepIdle()
+		}
+	}
+}
+
+// Wire types of the /v1 JSON API.
+
+// CreateSessionRequest registers an application. The server builds the
+// workload's DAG itself from (Workload, Params) — generation is a pure
+// function of the pair, which is what lets an in-process oracle
+// reproduce the server's decisions bit for bit.
+type CreateSessionRequest struct {
+	// Workload is a benchmark name (workload.Names()).
+	Workload string `json:"workload"`
+	// Params tunes the generator (iterations, partitions, seed...).
+	Params workload.Params `json:"params,omitempty"`
+	// Advisor shapes the model cluster and selects the policy.
+	Advisor AdvisorConfig `json:"advisor,omitempty"`
+}
+
+// CreateSessionResponse describes the registered session.
+type CreateSessionResponse struct {
+	ID         string `json:"id"`
+	Workload   string `json:"workload"`
+	Policy     string `json:"policy"`
+	Nodes      int    `json:"nodes"`
+	CacheBytes int64  `json:"cacheBytes"`
+	Jobs       int    `json:"jobs"`
+	Stages     int    `json:"stages"`
+	CachedRDDs int    `json:"cachedRdds"`
+}
+
+// SubmitJobRequest feeds one job DAG to the session's profiler
+// (refdist.Profile.AddJob under MRD). Jobs must arrive in ID order.
+type SubmitJobRequest struct {
+	Job int `json:"job"`
+}
+
+// SubmitJobResponse acknowledges the submission.
+type SubmitJobResponse struct {
+	Job     int `json:"job"`
+	NextJob int `json:"nextJob"`
+}
+
+// AdvanceRequest moves the session to a stage boundary.
+type AdvanceRequest struct {
+	Stage int `json:"stage"`
+}
+
+// Healthz is the health endpoint's payload.
+type Healthz struct {
+	Status      string `json:"status"`
+	Sessions    int    `json:"sessions"`
+	UptimeSec   int64  `json:"uptimeSec"`
+	Requests    int64  `json:"requests"`
+	EvictedLRU  int64  `json:"evictedLru"`
+	EvictedIdle int64  `json:"evictedIdle"`
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's full HTTP handler with the protection
+// middleware (bounded concurrency, request timeout) applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.handleSubmitJob)
+	mux.HandleFunc("POST /v1/sessions/{id}/stage", s.handleAdvance)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	var h http.Handler = mux
+	h = s.limitInflight(h)
+	h = http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")
+	return h
+}
+
+// limitInflight is the bounded-concurrency middleware: requests beyond
+// the cap are shed immediately with 503 so a traffic spike degrades to
+// client-side retries instead of queue collapse.
+func (s *Server) limitInflight(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server at capacity"})
+		}
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	spec, err := workload.Build(req.Workload, req.Params)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	adv, err := NewAdvisor(spec.Graph, req.Advisor)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	// Each session gets its own bus — SetStage mutates bus state, so a
+	// shared bus would race across concurrent sessions — but every bus
+	// feeds the one concurrency-safe aggregator behind /metrics.
+	bus := obs.New()
+	bus.SetClock(func() int64 { return time.Since(s.started).Microseconds() })
+	s.agg.Attach(bus)
+	adv.AttachBus(bus)
+	sess := s.registry.Create(spec.Name, adv)
+	cfg := adv.Config()
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{
+		ID:         sess.ID,
+		Workload:   spec.Name,
+		Policy:     adv.PolicyName(),
+		Nodes:      cfg.Nodes,
+		CacheBytes: cfg.CacheBytes,
+		Jobs:       len(spec.Graph.Jobs),
+		Stages:     spec.Graph.ActiveStages(),
+		CachedRDDs: len(spec.Graph.CachedRDDs()),
+	})
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req SubmitJobRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var next int
+	err := sess.WithAdvisor(func(a *Advisor) error {
+		if err := a.SubmitJob(req.Job); err != nil {
+			return err
+		}
+		next = a.NextJob()
+		return nil
+	})
+	if err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitJobResponse{Job: req.Job, NextJob: next})
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req AdvanceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var advice Advice
+	err := sess.WithAdvisor(func(a *Advisor) error {
+		var err error
+		advice, err = a.Advance(req.Stage)
+		if err == nil {
+			sess.advances++
+		}
+		return err
+	})
+	if err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, advice)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.Delete(id) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no session %q", id)})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	lru, idle := s.registry.Evicted()
+	writeJSON(w, http.StatusOK, Healthz{
+		Status:      "ok",
+		Sessions:    s.registry.Len(),
+		UptimeSec:   int64(time.Since(s.started).Seconds()),
+		Requests:    s.requests.Load(),
+		EvictedLRU:  lru,
+		EvictedIdle: idle,
+	})
+}
+
+// handleMetrics renders the live Prometheus exposition from a detached
+// snapshot of the shared aggregator, so scrapes never race sessions
+// emitting advice events.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	snap := s.agg.Snapshot()
+	if err := obs.WritePrometheus(w, snap); err != nil {
+		// Headers are gone; nothing recoverable to do but note it.
+		fmt.Fprintf(w, "# write error: %v\n", err)
+	}
+	fmt.Fprintf(w, "# HELP mrdserver_sessions Live advisory sessions.\n# TYPE mrdserver_sessions gauge\nmrdserver_sessions %d\n", s.registry.Len())
+	fmt.Fprintf(w, "# HELP mrdserver_requests_total Requests received.\n# TYPE mrdserver_requests_total counter\nmrdserver_requests_total %d\n", s.requests.Load())
+}
+
+// session resolves the {id} path segment; a miss writes 404.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.registry.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no session %q", id)})
+		return nil, false
+	}
+	return sess, true
+}
+
+// readJSON decodes the request body, rejecting unknown fields; a
+// failure writes 400 and returns false.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		msg := err.Error()
+		if errors.Is(err, errBodyTooLarge) {
+			msg = "request body too large"
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + strings.TrimSpace(msg)})
+		return false
+	}
+	return true
+}
+
+var errBodyTooLarge = errors.New("http: request body too large")
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
