@@ -4,9 +4,38 @@ import (
 	"fmt"
 
 	"mrdspark/internal/cluster"
-	"mrdspark/internal/sim"
+	"mrdspark/internal/experiments"
 	"mrdspark/internal/workload"
 )
+
+// policySpec maps a Config's policy selection onto the experiment
+// suite's PolicySpec so capacity probes can share the suite-wide
+// memoized run cache. The mapping mirrors policyBuilders exactly:
+// the MRD-* aliases become option toggles on the MRD kind.
+func policySpec(cfg Config) (experiments.PolicySpec, error) {
+	name := cfg.Policy
+	if name == "" {
+		name = "MRD"
+	}
+	if _, ok := policyBuilders[name]; !ok {
+		return experiments.PolicySpec{}, fmt.Errorf("mrdspark: unknown policy %q (have %v)", name, Policies())
+	}
+	spec := experiments.PolicySpec{Kind: name, AdHoc: cfg.AdHoc}
+	switch name {
+	case "MRD":
+		spec.MRD = cfg.MRD
+	case "MRD-evict":
+		spec.Kind, spec.MRD = "MRD", cfg.MRD
+		spec.MRD.DisablePrefetch = true
+	case "MRD-prefetch":
+		spec.Kind, spec.MRD = "MRD", cfg.MRD
+		spec.MRD.DisableEviction = true
+	case "MRD-dynamic":
+		spec.Kind, spec.MRD = "MRD", cfg.MRD
+		spec.MRD.DynamicThreshold = true
+	}
+	return spec, nil
+}
 
 // CacheNeeded finds, by bisection, the smallest per-node cache size at
 // which the configured policy reaches the target hit ratio on the
@@ -14,6 +43,11 @@ import (
 // ("MRD requires only 0.33 GB [against LRU's 0.88 GB], the equivalent
 // of 63% savings in cache space... this is significant as it leads to
 // resource and cost savings").
+//
+// Probes run through the experiment suite's memoized run cache, so a
+// repeated plan (or one sharing probe sizes with an experiment sweep)
+// replays from cache instead of re-simulating, and the workload is
+// generated once per plan rather than once per probe.
 //
 // It returns the found per-node size and the run at that size. If even
 // a cache big enough to hold everything misses the target (some
@@ -30,25 +64,21 @@ func CacheNeeded(cfg Config, targetHit float64) (int64, Result, error) {
 	if cl.Nodes == 0 {
 		cl = cluster.Main()
 	}
-
-	runAt := func(perNode int64) (Result, error) {
-		spec, err := workload.Build(cfg.Workload, cfg.Params)
-		if err != nil {
-			return Result{}, err
-		}
-		factory, err := NewPolicy(cfg.Policy, cfg, spec.Graph)
-		if err != nil {
-			return Result{}, err
-		}
-		return sim.Run(spec.Graph, cl.WithCache(perNode), factory, spec.Name)
+	pspec, err := policySpec(cfg)
+	if err != nil {
+		return 0, Result{}, err
 	}
-
-	// Establish the bracket: lo = one largest block (the smallest
-	// usable store), hi = enough for the whole cached working set.
 	spec, err := workload.Build(cfg.Workload, cfg.Params)
 	if err != nil {
 		return 0, Result{}, err
 	}
+
+	runAt := func(perNode int64) (Result, error) {
+		return experiments.RunCached(spec, cl.WithCache(perNode), pspec)
+	}
+
+	// Establish the bracket: lo = one largest block (the smallest
+	// usable store), hi = enough for the whole cached working set.
 	var maxBlock, totalCached int64
 	for _, r := range spec.Graph.CachedRDDs() {
 		if r.PartSize > maxBlock {
@@ -69,6 +99,14 @@ func CacheNeeded(cfg Config, targetHit float64) (int64, Result, error) {
 	if top.HitRatio() < targetHit {
 		return 0, top, fmt.Errorf("mrdspark: target hit %.2f unreachable; best achievable is %.2f (first-touch misses)",
 			targetHit, top.HitRatio())
+	}
+	// Probe the lower endpoint too: bisection shrinks the bracket
+	// towards lo but never evaluates it, and when the smallest usable
+	// store already satisfies the target it is the answer.
+	if bottom, err := runAt(lo); err != nil {
+		return 0, Result{}, err
+	} else if bottom.HitRatio() >= targetHit {
+		return lo, bottom, nil
 	}
 	best := hi
 	bestRun := top

@@ -1,6 +1,11 @@
 package mrdspark
 
-import "testing"
+import (
+	"testing"
+
+	"mrdspark/internal/experiments"
+	"mrdspark/internal/workload"
+)
 
 func TestCacheNeededFindsSmallerCacheForMRD(t *testing.T) {
 	if testing.Short() {
@@ -22,6 +27,64 @@ func TestCacheNeededFindsSmallerCacheForMRD(t *testing.T) {
 	// ratio with no more (and typically much less) cache.
 	if mrdNeed > lruNeed {
 		t.Errorf("MRD needs %d > LRU %d for hit %.0f%%", mrdNeed, lruNeed, 100*target)
+	}
+}
+
+// TestCacheNeededLoEndpoint pins the lower-endpoint probe: bisection
+// shrinks the bracket towards lo = one largest block but never
+// evaluates it, so when the smallest usable store already reaches the
+// target, CacheNeeded must probe lo explicitly and return it rather
+// than a bracket midpoint above it.
+func TestCacheNeededLoEndpoint(t *testing.T) {
+	spec, err := workload.Build("SVD", workload.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxBlock int64
+	for _, r := range spec.Graph.CachedRDDs() {
+		if r.PartSize > maxBlock {
+			maxBlock = r.PartSize
+		}
+	}
+	cfg := Config{Workload: "SVD", Policy: "LRU"}
+	// SVD under LRU hits ~15% with a single-block store; any target at
+	// or below that must resolve to exactly lo.
+	need, run, err := CacheNeeded(cfg, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if need != maxBlock {
+		t.Errorf("CacheNeeded = %d; want the lo endpoint %d (one largest block)", need, maxBlock)
+	}
+	if run.HitRatio() < 0.10 {
+		t.Errorf("returned run misses the target: hit %.3f", run.HitRatio())
+	}
+}
+
+// TestCacheNeededMemoizesProbes pins the shared run cache: planning
+// the same configuration twice must replay every probe from the
+// memoized cache instead of re-simulating (the cache entry count does
+// not grow on the second plan).
+func TestCacheNeededMemoizesProbes(t *testing.T) {
+	experiments.ResetRunCache()
+	cfg := Config{Workload: "SVD", Policy: "LRU"}
+	need1, _, err := CacheNeeded(cfg, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := experiments.RunCacheLen()
+	if n == 0 {
+		t.Fatal("first plan populated no memoized runs")
+	}
+	need2, _, err := CacheNeeded(cfg, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if need2 != need1 {
+		t.Errorf("repeated plan disagrees: %d then %d", need1, need2)
+	}
+	if got := experiments.RunCacheLen(); got != n {
+		t.Errorf("second identical plan grew the run cache %d -> %d; probes are not memoized", n, got)
 	}
 }
 

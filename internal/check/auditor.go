@@ -1,0 +1,167 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/obs"
+)
+
+// AuditorConfig shapes the invariant auditor for one event stream.
+type AuditorConfig struct {
+	// Nodes bounds the valid worker indices ([0, Nodes), plus
+	// obs.ClusterScope).
+	Nodes int
+	// CacheBytes is the per-node capacity the stream's inserts must
+	// respect (checked only under ExactInserts).
+	CacheBytes int64
+	// ExactInserts marks streams whose insert and prefetch-arrive
+	// events are exact residency transitions — the advisor emits them
+	// only for successful stores, so capacity and duplicate-insert
+	// violations are real. The simulator's plan-time streams
+	// over-approximate residency (an aborted prefetch still logs its
+	// arrival), so those checks are skipped and the resident set is an
+	// upper bound: membership failures are still sound violations.
+	ExactInserts bool
+	// ExpectedReads, when positive, is the DAG-determined read count
+	// the stream's hits+misses must sum to at Finish.
+	ExpectedReads int
+}
+
+// Auditor validates the conservation laws every advisory event stream
+// must satisfy, whichever implementation produced it:
+//
+//   - Hits, evictions and purges only of blocks the stream previously
+//     made resident; node indices in range.
+//   - Per-node resident bytes never exceed capacity, and no block is
+//     inserted twice without leaving in between (exact streams only).
+//   - Prefetch arrivals never exceed prefetch issues.
+//   - Every miss is resolved by a disk promote, a replica hit or a
+//     recompute; promotes and replica hits never exceed misses.
+//   - Node failures clear the node; lost blocks leave the resident set.
+//   - Hits+misses equal the DAG-determined read count (when known).
+//
+// Attach it to a bus (AttachBus) for live auditing or feed a recorded
+// stream through Observe, then call Finish for the end-of-stream laws.
+type Auditor struct {
+	cfg                                             AuditorConfig
+	resident                                        []map[block.ID]int64 // per node: block -> size at insert
+	bytes                                           []int64
+	hits, misses, promotes, recomputes, replicaHits int
+	issues, arrives                                 int
+	violations                                      []string
+}
+
+// NewAuditor builds an auditor for a stream from a cluster of the
+// given shape.
+func NewAuditor(cfg AuditorConfig) *Auditor {
+	a := &Auditor{cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		a.resident = append(a.resident, map[block.ID]int64{})
+	}
+	a.bytes = make([]int64, cfg.Nodes)
+	return a
+}
+
+// AttachBus subscribes the auditor to a live bus (obs.Attacher), so
+// existing integration tests run audited by adding one line.
+func (a *Auditor) AttachBus(b *obs.Bus) { b.Subscribe(a.Observe) }
+
+// violate records a violation, keeping the report bounded.
+func (a *Auditor) violate(format string, args ...any) {
+	if len(a.violations) < 32 {
+		a.violations = append(a.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Observe audits one event.
+func (a *Auditor) Observe(ev obs.Event) {
+	if ev.Node != obs.ClusterScope && (ev.Node < 0 || ev.Node >= a.cfg.Nodes) {
+		a.violate("%v event on out-of-range node %d", ev.Kind, ev.Node)
+		return
+	}
+	switch ev.Kind {
+	case obs.KindHit:
+		a.hits++
+		if _, ok := a.resident[ev.Node][ev.Block]; !ok {
+			a.violate("stage %d: hit on node %d for %v, which the stream never made resident there", ev.Stage, ev.Node, ev.Block)
+		}
+	case obs.KindMiss:
+		a.misses++
+		if _, ok := a.resident[ev.Node][ev.Block]; ok && a.cfg.ExactInserts {
+			a.violate("stage %d: miss on node %d for resident block %v", ev.Stage, ev.Node, ev.Block)
+		}
+	case obs.KindPromote:
+		a.promotes++
+	case obs.KindRecompute:
+		a.recomputes++
+	case obs.KindReplicaHit:
+		a.replicaHits++
+	case obs.KindInsert, obs.KindPrefetchArrive:
+		if ev.Kind == obs.KindPrefetchArrive {
+			a.arrives++
+		}
+		if _, ok := a.resident[ev.Node][ev.Block]; ok {
+			if a.cfg.ExactInserts {
+				a.violate("stage %d: duplicate insert of %v on node %d", ev.Stage, ev.Block, ev.Node)
+			}
+			return
+		}
+		a.resident[ev.Node][ev.Block] = ev.Bytes
+		a.bytes[ev.Node] += ev.Bytes
+		if a.cfg.ExactInserts && a.bytes[ev.Node] > a.cfg.CacheBytes {
+			a.violate("stage %d: node %d resident bytes %d exceed capacity %d after inserting %v",
+				ev.Stage, ev.Node, a.bytes[ev.Node], a.cfg.CacheBytes, ev.Block)
+		}
+	case obs.KindEvict, obs.KindPurge:
+		size, ok := a.resident[ev.Node][ev.Block]
+		if !ok {
+			a.violate("stage %d: %v of %v on node %d, which holds no such block", ev.Stage, ev.Kind, ev.Block, ev.Node)
+			return
+		}
+		delete(a.resident[ev.Node], ev.Block)
+		a.bytes[ev.Node] -= size
+	case obs.KindBlockLost:
+		// Loss can target a disk-only or already-evicted block; only
+		// resident copies leave the set.
+		if size, ok := a.resident[ev.Node][ev.Block]; ok {
+			delete(a.resident[ev.Node], ev.Block)
+			a.bytes[ev.Node] -= size
+		}
+	case obs.KindNodeFail:
+		a.resident[ev.Node] = map[block.ID]int64{}
+		a.bytes[ev.Node] = 0
+	case obs.KindPrefetchIssue:
+		a.issues++
+	}
+}
+
+// Finish checks the end-of-stream conservation laws and returns every
+// violation the stream accumulated, nil if the stream was clean.
+func (a *Auditor) Finish() error {
+	if a.arrives > a.issues {
+		a.violate("%d prefetch arrivals exceed %d issues", a.arrives, a.issues)
+	}
+	if a.promotes+a.replicaHits > a.misses {
+		a.violate("%d promotes + %d replica hits exceed %d misses", a.promotes, a.replicaHits, a.misses)
+	}
+	if a.promotes+a.replicaHits+a.recomputes < a.misses {
+		a.violate("%d misses not all resolved: %d promotes + %d replica hits + %d recomputes",
+			a.misses, a.promotes, a.replicaHits, a.recomputes)
+	}
+	if a.cfg.ExpectedReads > 0 && a.hits+a.misses != a.cfg.ExpectedReads {
+		a.violate("hits %d + misses %d != DAG-determined reads %d", a.hits, a.misses, a.cfg.ExpectedReads)
+	}
+	return a.Err()
+}
+
+// Err returns the violations recorded so far without the end-of-stream
+// checks (for mid-stream assertions).
+func (a *Auditor) Err() error {
+	if len(a.violations) == 0 {
+		return nil
+	}
+	return errors.New("check: invariant violations:\n  " + strings.Join(a.violations, "\n  "))
+}

@@ -1,0 +1,92 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mrdspark/internal/obs"
+)
+
+// cacheKinds are the event kinds that constitute a cache-decision
+// stream: what the differential harness compares across
+// implementations. Byte sizes are deliberately excluded — the two
+// implementations agree on identities but annotate purges with
+// different byte detail.
+var cacheKinds = map[obs.Kind]bool{
+	obs.KindHit:       true,
+	obs.KindMiss:      true,
+	obs.KindPromote:   true,
+	obs.KindRecompute: true,
+	obs.KindInsert:    true,
+	obs.KindEvict:     true,
+	obs.KindPurge:     true,
+}
+
+// StageDigests reduces an event stream to its per-stage cache-decision
+// multisets: for each stage, the sorted "kind:node:block" entries of
+// every cache event. Sorting makes the digest insensitive to the
+// within-stage orderings the implementations legitimately differ in
+// (the simulator resolves reads at plan time and inserts at task
+// completion; the advisor applies reads then inserts) while remaining
+// exact about what was decided, where, for which block.
+func StageDigests(events []obs.Event) map[int][]string {
+	d := map[int][]string{}
+	for _, ev := range events {
+		if !cacheKinds[ev.Kind] {
+			continue
+		}
+		d[ev.Stage] = append(d[ev.Stage], fmt.Sprintf("%v:%d:%v", ev.Kind, ev.Node, ev.Block))
+	}
+	for _, entries := range d {
+		sort.Strings(entries)
+	}
+	return d
+}
+
+// diffDigests explains the first difference between two per-stage
+// digests, or returns "" when they are identical.
+func diffDigests(aName string, a map[int][]string, bName string, b map[int][]string) string {
+	var stages []int
+	seen := map[int]bool{}
+	for s := range a {
+		stages, seen[s] = append(stages, s), true
+	}
+	for s := range b {
+		if !seen[s] {
+			stages = append(stages, s)
+		}
+	}
+	sort.Ints(stages)
+	for _, s := range stages {
+		ea, eb := a[s], b[s]
+		if strings.Join(ea, ",") == strings.Join(eb, ",") {
+			continue
+		}
+		return fmt.Sprintf("stage %d: %s decided %v but %s decided %v", s, aName, firstDelta(ea, eb), bName, firstDelta(eb, ea))
+	}
+	return ""
+}
+
+// firstDelta returns the entries of a missing from b (bounded), or a
+// note that a is a subset.
+func firstDelta(a, b []string) []string {
+	have := map[string]int{}
+	for _, e := range b {
+		have[e]++
+	}
+	var extra []string
+	for _, e := range a {
+		if have[e] > 0 {
+			have[e]--
+			continue
+		}
+		if extra = append(extra, e); len(extra) == 4 {
+			break
+		}
+	}
+	if len(extra) == 0 {
+		return []string{"(subset: fewer events)"}
+	}
+	return extra
+}

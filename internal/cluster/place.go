@@ -1,0 +1,20 @@
+package cluster
+
+import "mrdspark/internal/block"
+
+// HomeNode is the cluster's single block-placement rule: a block's
+// locality-preferred node is its partition index modulo the node count.
+// The simulator's stores, the fault ledger sweeps, and the online
+// advisor's model cluster must all agree on placement — a block "lost
+// with its node" is exactly a block homed there — so every call site
+// routes through this one function. Change placement here and nowhere
+// else.
+func HomeNode(id block.ID, nodes int) int {
+	return id.Partition % nodes
+}
+
+// HomePartition is HomeNode for call sites that know only the partition
+// index (plan-time placement of blocks not yet materialized).
+func HomePartition(partition, nodes int) int {
+	return partition % nodes
+}

@@ -128,20 +128,46 @@ func ResetRunCache() {
 	})
 }
 
+// RunCacheLen reports the number of memoized runs (test helper: the
+// capacity planner's probes must populate the cache exactly once per
+// distinct configuration).
+func RunCacheLen() int {
+	n := 0
+	runCache.Range(func(_, _ any) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// RunCached simulates the workload under the policy on the cluster
+// through the suite-wide memoized cache: equal (workload, params,
+// cluster, policy) keys simulate once and replay from cache after.
+// This is the entry point for callers outside the experiment suite —
+// the capacity planner's bisection probes in particular — that want
+// the memoization without the suite's panic-on-error contract.
+func RunCached(spec *workload.Spec, cfg cluster.Config, p PolicySpec) (metrics.Run, error) {
+	key := runKey{workload: spec.Name, params: spec.Params, cfg: cfg, policy: p}
+	if v, ok := runCache.Load(key); ok {
+		return v.(metrics.Run), nil
+	}
+	run, err := sim.Run(spec.Graph, cfg, p.Factory(spec), spec.Name)
+	if err != nil {
+		return metrics.Run{}, err
+	}
+	run.Policy = p.Name()
+	runCache.Store(key, run)
+	return run, nil
+}
+
 // runOne simulates the workload under the policy on the cluster,
 // memoizing the result: repeated (workload, cluster, policy) triples
 // replay from cache instead of re-simulating.
 func runOne(spec *workload.Spec, cfg cluster.Config, p PolicySpec) metrics.Run {
-	key := runKey{workload: spec.Name, params: spec.Params, cfg: cfg, policy: p}
-	if v, ok := runCache.Load(key); ok {
-		return v.(metrics.Run)
-	}
-	run, err := sim.Run(spec.Graph, cfg, p.Factory(spec), spec.Name)
+	run, err := RunCached(spec, cfg, p)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s on %s: %v", p.Name(), spec.Name, err))
 	}
-	run.Policy = p.Name()
-	runCache.Store(key, run)
 	return run
 }
 

@@ -70,8 +70,10 @@ func NewAggregator() *Aggregator {
 	}
 }
 
-// Attach subscribes the aggregator to the bus.
-func (a *Aggregator) Attach(b *Bus) { b.Subscribe(a.Observe) }
+// Attach subscribes the aggregator to the bus and returns the detach
+// function that unsubscribes it again (see Bus.Subscribe for the
+// synchronization contract).
+func (a *Aggregator) Attach(b *Bus) (detach func()) { return b.Subscribe(a.Observe) }
 
 // node returns (creating if needed) the stats entry for a worker.
 // Cluster-scope events carry no node and are not charged to one.

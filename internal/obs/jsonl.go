@@ -18,8 +18,9 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Attach subscribes the recorder to the bus.
-func (r *Recorder) Attach(b *Bus) { b.Subscribe(r.Record) }
+// Attach subscribes the recorder to the bus and returns the detach
+// function that unsubscribes it again.
+func (r *Recorder) Attach(b *Bus) (detach func()) { return b.Subscribe(r.Record) }
 
 // Record appends one event (the subscriber function).
 func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }

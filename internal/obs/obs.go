@@ -242,12 +242,26 @@ func (b *Bus) SetStage(stage, job int) {
 // StageContext returns the current stage/job context (test helper).
 func (b *Bus) StageContext() (stage, job int) { return b.stage, b.job }
 
-// Subscribe registers a delivery function and enables the bus.
-// Subscribers run synchronously in subscription order; they must not
-// emit back into the bus.
-func (b *Bus) Subscribe(fn func(Event)) {
+// Subscribe registers a delivery function and enables the bus. It
+// returns a detach function that removes the subscription again,
+// disabling the bus when no subscribers remain. Subscribers run
+// synchronously in subscription order; they must not emit back into
+// the bus. The bus is not internally synchronized: detach must run
+// under the same serialization as Emit (for a server session, the
+// session lock).
+func (b *Bus) Subscribe(fn func(Event)) (detach func()) {
 	b.subs = append(b.subs, fn)
 	b.enabled = true
+	i := len(b.subs) - 1
+	return func() {
+		b.subs[i] = nil
+		for _, s := range b.subs {
+			if s != nil {
+				return
+			}
+		}
+		b.enabled = false
+	}
 }
 
 // Emit stamps and delivers the event. On a disabled bus this is the
@@ -261,7 +275,9 @@ func (b *Bus) Emit(ev Event) {
 	}
 	ev.Stage, ev.Job = b.stage, b.job
 	for _, fn := range b.subs {
-		fn(ev)
+		if fn != nil {
+			fn(ev)
+		}
 	}
 }
 

@@ -146,10 +146,15 @@ type Advisor struct {
 	nextJob   int // next job index expected by SubmitJob
 	lastStage int // last advanced stage ID (-1 before the first)
 
-	// Current-advance state.
-	cur     *Advice
-	pfUsed  int64
-	pfWaste int64
+	// Current-advance state, plus the session-lifetime prefetch ledger:
+	// every issued prefetch is eventually used (hit while resident),
+	// wasted (evicted, purged or lost before use) or still pending
+	// (resident, unused). issued == used + wasted + pending is the
+	// conservation law the correctness harness audits.
+	cur      *Advice
+	pfIssued int64
+	pfUsed   int64
+	pfWaste  int64
 
 	bus *obs.Bus // nil-safe; shared with the server's aggregator
 }
@@ -255,6 +260,10 @@ func (a *Advisor) OnNodeFailure(node int) error {
 	n := a.nodes[node]
 	n.mem.Clear()
 	n.disk.Clear()
+	// The wipe destroys the node's pending prefetches; settle them as
+	// wasted so the prefetch ledger stays conserved across failures
+	// (mirroring the simulator's crash-path ledger sweep).
+	a.pfWaste += int64(len(n.prefetched))
 	n.prefetched = map[block.ID]bool{}
 	if a.failObs != nil {
 		a.failObs.OnNodeFailure(node)
@@ -304,12 +313,26 @@ func (a *Advisor) Advance(stageID int) (Advice, error) {
 // its cached-frontier reads (hit, promote from disk, or recompute) and
 // the cached RDDs it materializes, block by block in deterministic
 // (RDD, partition) order.
+//
+// Reads run in two phases, matching the simulator's plan-time read
+// resolution: every read of the stage is first resolved against the
+// cache state at stage start, and only then are the miss re-inserts
+// applied. A one-phase loop (insert on miss as reads are walked) let an
+// early miss's eviction displace a block the stage had not read yet —
+// a same-stage read the simulator counts as a hit — which is exactly
+// the divergence the differential harness pinned down.
 func (a *Advisor) applyStage(s *dag.Stage) {
 	reads, creates := dag.StageFrontier(s, func(id int) bool { return a.created[id] })
+	var missed []block.Info
 	for _, r := range reads {
 		for p := 0; p < r.NumPartitions; p++ {
-			a.readBlock(r.BlockInfo(p))
+			if !a.resolveRead(r.BlockInfo(p)) {
+				missed = append(missed, r.BlockInfo(p))
+			}
 		}
+	}
+	for _, info := range missed {
+		a.insertBlock(a.home(info.ID), info, "evict")
 	}
 	for _, r := range creates {
 		for p := 0; p < r.NumPartitions; p++ {
@@ -319,8 +342,12 @@ func (a *Advisor) applyStage(s *dag.Stage) {
 	}
 }
 
-// readBlock models one demand read of a cached block on its home node.
-func (a *Advisor) readBlock(info block.Info) {
+// resolveRead models one demand read of a cached block on its home
+// node against the current cache state, without mutating the store: it
+// reports whether the read hit, and on a miss classifies the recovery
+// (disk promote or lineage recompute). The caller re-inserts missed
+// blocks after the whole read phase.
+func (a *Advisor) resolveRead(info block.Info) bool {
 	node := a.home(info.ID)
 	n := a.nodes[node]
 	if n.mem.Get(info.ID) {
@@ -330,7 +357,7 @@ func (a *Advisor) readBlock(info block.Info) {
 			delete(n.prefetched, info.ID)
 		}
 		a.bus.Emit(obs.BlockEv(obs.KindHit, node, info.ID, info.Size))
-		return
+		return true
 	}
 	a.cur.Counters.Misses++
 	a.bus.Emit(obs.BlockEv(obs.KindMiss, node, info.ID, info.Size))
@@ -341,7 +368,7 @@ func (a *Advisor) readBlock(info block.Info) {
 		a.cur.Counters.Recomputes++
 		a.bus.Emit(obs.BlockEv(obs.KindRecompute, node, info.ID, info.Size))
 	}
-	a.insertBlock(node, info, "evict")
+	return false
 }
 
 // insertBlock puts the block into the node's memory store, recording
@@ -382,10 +409,10 @@ func (a *Advisor) settleEviction(node int, v block.Info, kind string) {
 // record appends one decision to the current advance's log.
 func (a *Advisor) record(d Decision) { a.cur.Decisions = append(a.cur.Decisions, d) }
 
-// home returns the block's locality-preferred node — the same placement
-// rule the simulator uses, so advisory decisions and simulated runs
-// speak about the same cluster layout.
-func (a *Advisor) home(id block.ID) int { return id.Partition % len(a.nodes) }
+// home returns the block's locality-preferred node — the cluster's one
+// placement rule, so advisory decisions and simulated runs speak about
+// the same cluster layout.
+func (a *Advisor) home(id block.ID) int { return cluster.HomeNode(id, len(a.nodes)) }
 
 // ResidentBlocks returns the node's resident block IDs in deterministic
 // order (test and debug helper).
@@ -467,6 +494,7 @@ func (o advOps) Prefetch(node int, info block.Info) {
 		return
 	}
 	n.prefetched[info.ID] = true
+	a.pfIssued++
 	if a.cur != nil {
 		a.record(Decision{Kind: "prefetch", Node: node, Block: info.ID.String()})
 		a.cur.Counters.Prefetches++
@@ -479,6 +507,18 @@ func (o advOps) Prefetch(node int, info block.Info) {
 // dynamic-threshold controller consumes.
 func (o advOps) PrefetchOutcomes() (used, wasted int64) {
 	return o.a.pfUsed, o.a.pfWaste
+}
+
+// PrefetchLedger returns the session's prefetch conservation counters:
+// orders issued, prefetched blocks hit while resident (used), blocks
+// evicted/purged/lost before use (wasted), and still-resident unused
+// prefetched blocks (pending). used + wasted + pending == issued
+// always holds; the correctness harness audits it after every replay.
+func (a *Advisor) PrefetchLedger() (issued, used, wasted, pending int64) {
+	for _, n := range a.nodes {
+		pending += int64(len(n.prefetched))
+	}
+	return a.pfIssued, a.pfUsed, a.pfWaste, pending
 }
 
 // blockInfo reconstructs a block's cache metadata from the DAG.

@@ -20,6 +20,16 @@ type Session struct {
 	mu       sync.Mutex
 	advisor  *Advisor
 	advances int64
+	// cleanup runs exactly once, under the session lock, after the
+	// session leaves the registry (explicit delete, LRU bound, or idle
+	// sweep). The server passes the obs-bus detach here so a retired
+	// session's per-session series stop feeding the shared /metrics
+	// aggregator.
+	cleanup func()
+
+	// retired is closed once the session has fully retired: it left the
+	// registry, any in-flight advisor call finished, and cleanup ran.
+	retired chan struct{}
 
 	// lastUsed and lruElem are owned by the registry's lock.
 	lastUsed time.Time
@@ -27,12 +37,19 @@ type Session struct {
 }
 
 // WithAdvisor runs fn with the session's advisor under the session
-// lock.
+// lock. The registry's eviction paths never interrupt a call in
+// flight: a session dropped while fn runs finishes fn first and only
+// then retires (see Retired).
 func (s *Session) WithAdvisor(fn func(a *Advisor) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return fn(s.advisor)
 }
+
+// Retired returns a channel closed once the session has fully retired
+// after leaving the registry: any in-flight WithAdvisor call has
+// completed and the session's cleanup (obs-bus detach) has run.
+func (s *Session) Retired() <-chan struct{} { return s.retired }
 
 // Advances returns how many stage advances the session has served.
 func (s *Session) Advances() int64 {
@@ -95,8 +112,11 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 }
 
 // Create registers a new session around the advisor, evicting the
-// least-recently-used session if the registry is full.
-func (r *Registry) Create(workloadName string, a *Advisor) *Session {
+// least-recently-used session if the registry is full. cleanup (nil
+// allowed) runs once, under the session lock, when the session later
+// leaves the registry by any path — the caller's hook for detaching
+// the session's observability from shared state.
+func (r *Registry) Create(workloadName string, a *Advisor, cleanup func()) *Session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextID++
@@ -105,6 +125,8 @@ func (r *Registry) Create(workloadName string, a *Advisor) *Session {
 		Workload: workloadName,
 		Created:  r.now(),
 		advisor:  a,
+		cleanup:  cleanup,
+		retired:  make(chan struct{}),
 		lastUsed: r.now(),
 	}
 	for len(r.sessions) >= r.cfg.MaxSessions {
@@ -183,8 +205,26 @@ func (r *Registry) Evicted() (lru, idle int64) {
 	return r.evictedLRU, r.evictedIdle
 }
 
+// dropLocked unlinks the session from the registry's table and LRU
+// list, then retires it asynchronously: retirement must take the
+// session lock (to let an in-flight WithAdvisor call finish and to
+// serialize the obs-bus detach against Emit), and the registry lock is
+// never held across a session lock — a slow advice computation in the
+// dropped session must not stall the whole registry.
 func (r *Registry) dropLocked(s *Session) {
 	delete(r.sessions, s.ID)
 	r.lru.Remove(s.lruElem)
 	s.lruElem = nil
+	go s.retire()
+}
+
+// retire completes a dropped session's teardown: wait out any
+// in-flight advisor call, run the cleanup hook, and signal Retired.
+func (s *Session) retire() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cleanup != nil {
+		s.cleanup()
+	}
+	close(s.retired)
 }

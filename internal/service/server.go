@@ -214,9 +214,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// feeds the one concurrency-safe aggregator behind /metrics.
 	bus := obs.New()
 	bus.SetClock(func() int64 { return time.Since(s.started).Microseconds() })
-	s.agg.Attach(bus)
+	detach := s.agg.Attach(bus)
 	adv.AttachBus(bus)
-	sess := s.registry.Create(spec.Name, adv)
+	// The detach runs when the session leaves the registry (delete, LRU
+	// bound, idle sweep), under the session lock, so a retired session
+	// stops feeding the shared aggregator the moment its last in-flight
+	// request completes.
+	sess := s.registry.Create(spec.Name, adv, detach)
 	cfg := adv.Config()
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{
 		ID:         sess.ID,

@@ -52,7 +52,7 @@ func (s *Simulation) applyFaults() {
 		case fault.LoseBlock:
 			s.loseBlock(ev.Block)
 		case fault.CorruptBlock:
-			home := s.nodes[ev.Block.Partition%len(s.nodes)]
+			home := s.nodes[cluster.HomeNode(ev.Block, len(s.nodes))]
 			if home.disk.Has(ev.Block) {
 				s.corrupt[ev.Block] = true
 				s.bus.Emit(obs.BlockEv(obs.KindBlockCorrupt, home.id, ev.Block, 0))
@@ -78,7 +78,7 @@ func (s *Simulation) crashNode(ev fault.Event) {
 	// (Map iteration: the operations are per-id counter updates, so
 	// order does not affect the outcome.)
 	for id := range s.prefetched {
-		if id.Partition%len(s.nodes) == n.id {
+		if cluster.HomeNode(id, len(s.nodes)) == n.id {
 			s.run.PrefetchWasted++
 			delete(s.prefetched, id)
 		}
@@ -104,10 +104,12 @@ func (s *Simulation) crashNode(ev fault.Event) {
 		}
 	}
 
-	if ev.RejoinAfter > 0 {
-		n.down = true
-		n.rejoinAt = s.stageIx + ev.RejoinAfter
-	}
+	// A crash always resolves the node's down window from scratch:
+	// RejoinAfter == 0 means immediate replacement even when an earlier
+	// crash left the node down with a pending rejoin (crash-then-crash
+	// before rejoin must not resurrect the stale window).
+	n.down = ev.RejoinAfter > 0
+	n.rejoinAt = s.stageIx + ev.RejoinAfter
 	if fo, ok := s.factory.(policy.NodeFailureObserver); ok {
 		fo.OnNodeFailure(n.id)
 	}
@@ -117,7 +119,7 @@ func (s *Simulation) crashNode(ev fault.Event) {
 // Replica copies on other nodes survive, which is what lets the next
 // reference take the replica-refetch path instead of lineage.
 func (s *Simulation) loseBlock(id block.ID) {
-	home := s.nodes[id.Partition%len(s.nodes)]
+	home := s.nodes[cluster.HomeNode(id, len(s.nodes))]
 	removed := home.mem.Remove(id)
 	if home.disk.Has(id) {
 		home.disk.Remove(id)
@@ -211,7 +213,7 @@ func (s *Simulation) dropReplicaCounts(crashed int) {
 // its deterministic placement slots, preferring the nearest slot.
 func (s *Simulation) findReplica(id block.ID) (*node, bool) {
 	r := s.replication()
-	home := id.Partition % len(s.nodes)
+	home := cluster.HomeNode(id, len(s.nodes))
 	for k := 1; k < r; k++ {
 		rn := s.nodes[(home+k)%len(s.nodes)]
 		// corrupt flags only the home-disk copy; replicas are clean.

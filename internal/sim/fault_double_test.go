@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"mrdspark/internal/block"
+	"mrdspark/internal/core"
+	"mrdspark/internal/fault"
+)
+
+// TestCrashTwiceBeforeRejoinReplacesNode pins the crash-then-crash
+// fix: a node crashed with a pending rejoin window that crashes again
+// with RejoinAfter == 0 is replaced immediately — the second crash
+// must not leave the stale down window standing (the original code
+// only wrote the down state when RejoinAfter > 0, so the replacement
+// inherited the first crash's window and sat out the rest of the run).
+func TestCrashTwiceBeforeRejoinReplacesNode(t *testing.T) {
+	g, _ := junkFlowGraph()
+	sched := &fault.Schedule{Seed: 1, Events: []fault.Event{
+		// The first crash's rejoin stage is past the end of the run.
+		{Stage: 2, Kind: fault.NodeCrash, Node: 1, RejoinAfter: 100},
+		// The second crash, before the rejoin, replaces the node.
+		{Stage: 4, Kind: fault.NodeCrash, Node: 1},
+	}}
+	s := mustRunFault(t, g, 1<<20, mrdFactory(g, core.Options{}), sched)
+	run := s.Run()
+	if run.Jobs != len(g.Jobs) {
+		t.Errorf("run incomplete after double crash: %d jobs", run.Jobs)
+	}
+	if run.NodeCrashes != 2 {
+		t.Errorf("NodeCrashes = %d, want 2", run.NodeCrashes)
+	}
+	for _, ns := range s.PerNode() {
+		if ns.Node == 1 && ns.Down {
+			t.Error("node 1 still down at run end: second crash resurrected the first crash's rejoin window")
+		}
+	}
+	if err := s.Audit(); err != nil {
+		t.Errorf("audit after double crash: %v", err)
+	}
+}
+
+// TestCrashTwiceWithSecondRejoinWindow covers the other double-crash
+// arm: the second crash carries its own rejoin window, which must
+// replace (not extend) the first one.
+func TestCrashTwiceWithSecondRejoinWindow(t *testing.T) {
+	g, _ := junkFlowGraph()
+	sched := &fault.Schedule{Seed: 1, Events: []fault.Event{
+		{Stage: 1, Kind: fault.NodeCrash, Node: 0, RejoinAfter: 100},
+		{Stage: 3, Kind: fault.NodeCrash, Node: 0, RejoinAfter: 2},
+	}}
+	s := mustRunFault(t, g, 1<<20, mrdFactory(g, core.Options{}), sched)
+	run := s.Run()
+	if run.Jobs != len(g.Jobs) {
+		t.Errorf("run incomplete: %d jobs", run.Jobs)
+	}
+	if run.NodeCrashes != 2 || run.NodeRejoins != 1 {
+		t.Errorf("crashes/rejoins = %d/%d, want 2/1 (the second window fires, the first is dead)",
+			run.NodeCrashes, run.NodeRejoins)
+	}
+	for _, ns := range s.PerNode() {
+		if ns.Node == 0 && ns.Down {
+			t.Error("node 0 still down: the second crash's shorter rejoin window did not take effect")
+		}
+	}
+	if err := s.Audit(); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+}
+
+// TestStragglerWindowOverlappingCrash runs a straggler window that a
+// crash of the same node interrupts: the run must complete with the
+// books balanced (the crash wipes the node while its devices are
+// slowed; the straggle window then expires over the replacement).
+func TestStragglerWindowOverlappingCrash(t *testing.T) {
+	g, _ := junkFlowGraph()
+	sched := &fault.Schedule{Seed: 1, Events: []fault.Event{
+		{Stage: 1, Kind: fault.Straggler, Node: 1, DiskFactor: 8, NetFactor: 8, Duration: 6},
+		{Stage: 3, Kind: fault.NodeCrash, Node: 1, RejoinAfter: 2},
+	}}
+	s := mustRunFault(t, g, 1<<20, mrdFactory(g, core.Options{}), sched)
+	run := s.Run()
+	if run.Jobs != len(g.Jobs) {
+		t.Errorf("run incomplete: %d jobs", run.Jobs)
+	}
+	if run.NodeCrashes != 1 || run.NodeRejoins != 1 {
+		t.Errorf("crashes/rejoins = %d/%d, want 1/1", run.NodeCrashes, run.NodeRejoins)
+	}
+	if run.StragglerEvents != 1 {
+		t.Errorf("StragglerEvents = %d, want 1", run.StragglerEvents)
+	}
+	if err := s.Audit(); err != nil {
+		t.Errorf("audit with straggler overlapping crash: %v", err)
+	}
+}
+
+// TestLoseBlockOnCrashedHome drops a block whose home node is already
+// down from a crash: the loss must be a clean no-op against the wiped
+// stores (no phantom eviction, no negative occupancy), and the run
+// must still complete and audit.
+func TestLoseBlockOnCrashedHome(t *testing.T) {
+	g, gap := junkFlowGraph()
+	// gap has 2 partitions on a 2-node cluster: partition 1 homes on
+	// node 1, which the first event crashes and keeps down.
+	sched := &fault.Schedule{Seed: 1, Events: []fault.Event{
+		{Stage: 2, Kind: fault.NodeCrash, Node: 1, RejoinAfter: 4},
+		{Stage: 3, Kind: fault.LoseBlock, Block: block.ID{RDD: gap.ID, Partition: 1}},
+	}}
+	s := mustRunFault(t, g, 1<<20, mrdFactory(g, core.Options{}), sched)
+	run := s.Run()
+	if run.Jobs != len(g.Jobs) {
+		t.Errorf("run incomplete: %d jobs", run.Jobs)
+	}
+	if run.NodeCrashes != 1 {
+		t.Errorf("NodeCrashes = %d, want 1", run.NodeCrashes)
+	}
+	if err := s.Audit(); err != nil {
+		t.Errorf("audit after losing a block on a crashed home: %v", err)
+	}
+}

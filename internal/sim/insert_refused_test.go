@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"mrdspark/internal/dag"
+	"mrdspark/internal/obs"
+	"mrdspark/internal/policy"
+)
+
+// TestRefusedPutEmitsNoInsertEvent pins the phantom-insert fix: a
+// block larger than the whole store is refused by Put, and a refused
+// Put must not emit a KindInsert event — the trace would otherwise
+// claim residency for a block that was never cached, which the
+// invariant auditor (and any replay consumer) would count as resident.
+func TestRefusedPutEmitsNoInsertEvent(t *testing.T) {
+	g := dag.New()
+	src := g.Source("in", 2, 1<<12, dag.WithCost(10))
+	big := src.Map("big", dag.WithCost(10)).Cache()
+	g.Count(big)
+	g.Count(big.Map("reread", dag.WithCost(10)))
+
+	// Cache smaller than one block: every Put of big's blocks refuses.
+	s, err := New(g, tinyCluster(1<<10), policy.NewLRU(), "refused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	rec.Attach(s.Bus())
+	run := s.Run()
+
+	inserts := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindInsert {
+			inserts++
+		}
+	}
+	if inserts != 0 {
+		t.Errorf("%d insert events for refused Puts; a refused Put must not claim residency", inserts)
+	}
+	// The re-read still misses and recomputes — the block was never
+	// resident anywhere.
+	if run.Hits != 0 {
+		t.Errorf("Hits = %d, want 0 (nothing ever fits the cache)", run.Hits)
+	}
+	if run.Recomputes == 0 {
+		t.Error("no recomputes: the re-read of the uncacheable RDD must recompute")
+	}
+	if err := s.Audit(); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+}

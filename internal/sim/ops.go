@@ -2,6 +2,7 @@ package sim
 
 import (
 	"mrdspark/internal/block"
+	"mrdspark/internal/cluster"
 	"mrdspark/internal/obs"
 	"mrdspark/internal/policy"
 )
@@ -17,7 +18,7 @@ var _ policy.ClusterOps = clusterOps{}
 
 func (o clusterOps) NumNodes() int { return len(o.s.nodes) }
 
-func (o clusterOps) HomeNode(id block.ID) int { return id.Partition % len(o.s.nodes) }
+func (o clusterOps) HomeNode(id block.ID) int { return cluster.HomeNode(id, len(o.s.nodes)) }
 
 func (o clusterOps) Resident(node int, id block.ID) bool {
 	return o.s.nodes[node].mem.Contains(id)

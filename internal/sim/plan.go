@@ -2,6 +2,7 @@ package sim
 
 import (
 	"mrdspark/internal/block"
+	"mrdspark/internal/cluster"
 	"mrdspark/internal/dag"
 	"mrdspark/internal/obs"
 )
@@ -73,7 +74,7 @@ func (s *Simulation) planStage(st *dag.Stage) []taskWork {
 		}
 		for _, m := range creations {
 			q := p % m.NumPartitions
-			w.inserts = append(w.inserts, insert{node: q % len(s.nodes), info: m.BlockInfo(q)})
+			w.inserts = append(w.inserts, insert{node: cluster.HomePartition(q, len(s.nodes)), info: m.BlockInfo(q)})
 		}
 	}
 	// Mark chain creations materialized: from the next stage on they
@@ -143,7 +144,7 @@ func (c *planCtx) resolveBlock(r *dag.RDD, q int) {
 	c.resolved[id] = true
 
 	s := c.sim
-	home := q % len(s.nodes)
+	home := cluster.HomeNode(id, len(s.nodes))
 	hn := s.nodes[home]
 	reader := q % c.numTasks
 	readerNode := s.execNode(reader).id

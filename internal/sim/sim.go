@@ -245,7 +245,7 @@ func (s *Simulation) Audit() error {
 		return fmt.Errorf("sim: %d prefetches still in flight after drain", len(s.inFlight))
 	}
 	for id := range s.prefetched {
-		if !s.nodes[id.Partition%len(s.nodes)].mem.Contains(id) {
+		if !s.nodes[cluster.HomeNode(id, len(s.nodes))].mem.Contains(id) {
 			return fmt.Errorf("sim: prefetched block %v tracked but not resident", id)
 		}
 	}
@@ -385,7 +385,12 @@ func (s *Simulation) insertBlock(ins insert) {
 		n.diskDev.Transfer(ins.info.Size, Background, func() {})
 	}
 	evicted, ok := n.mem.Put(ins.info)
-	s.bus.Emit(obs.BlockEv(obs.KindInsert, ins.node, ins.info.ID, ins.info.Size))
+	// Emit the insert only when the store accepted it: a refused Put
+	// (oversized block, or every resident block protected) must not put
+	// a phantom residency claim on the trace.
+	if ok {
+		s.bus.Emit(obs.BlockEv(obs.KindInsert, ins.node, ins.info.ID, ins.info.Size))
+	}
 	s.noteEvictions(evicted)
 	if ok {
 		s.replicate(n, ins.info)
@@ -407,7 +412,7 @@ func (s *Simulation) notePeak() {
 func (s *Simulation) noteEvictions(evicted []block.Info) {
 	s.run.Evictions += int64(len(evicted))
 	for _, ev := range evicted {
-		s.bus.Emit(obs.BlockEv(obs.KindEvict, ev.ID.Partition%len(s.nodes), ev.ID, ev.Size))
+		s.bus.Emit(obs.BlockEv(obs.KindEvict, cluster.HomeNode(ev.ID, len(s.nodes)), ev.ID, ev.Size))
 		if s.prefetched[ev.ID] {
 			s.run.PrefetchWasted++
 			delete(s.prefetched, ev.ID)
