@@ -5,11 +5,20 @@
 // schedule — the subsystem's correctness oracle: if the server's advice
 // ever diverges from the library, mrdload exits nonzero.
 //
+// With -shards it drives a shard group through the consistent-hash
+// failover client instead of one server, and with -kill-after N /
+// -kill-pid P it SIGKILLs process P after the Nth successful advance —
+// the chaos harness: the oracle never dies, so parity still proves
+// every post-failover decision (served by a snapshot-restored session
+// on the surviving shard) is byte-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	mrdload -sessions 8 -workload scc -parity
 //	mrdload -sessions 64 -workload all -parity
 //	mrdload -addr http://127.0.0.1:7788 -workload hibench -policy LRU
+//	mrdload -shards http://127.0.0.1:7701,http://127.0.0.1:7702,http://127.0.0.1:7703 \
+//	    -parity -kill-after 100 -kill-pid $SHARD2_PID
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mrdspark/internal/cluster"
@@ -41,6 +51,49 @@ func init() {
 	groups["all"] = append(append(append([]string{}, groups["scc"]...), groups["hibench"]...), groups["mllib"]...)
 }
 
+// api is the slice of the advisory API both the single-server client
+// and the sharded failover client provide; the load loop is identical
+// over either.
+type api interface {
+	CreateSession(ctx context.Context, req service.CreateSessionRequest) (service.CreateSessionResponse, error)
+	SubmitJob(ctx context.Context, sessionID string, job int) (service.SubmitJobResponse, error)
+	Advance(ctx context.Context, sessionID string, stage int) (service.Advice, error)
+	DeleteSession(ctx context.Context, sessionID string) error
+}
+
+// killer SIGKILLs a victim process after the Nth successful advance —
+// a deterministic chaos trigger (a wall-clock timer would race the
+// load's progress and make CI flaky).
+type killer struct {
+	after int64 // advance count that pulls the trigger; 0 disables
+	pid   int
+	count atomic.Int64
+	once  sync.Once
+	fired atomic.Bool
+}
+
+// tick notes one successful advance and fires when the count is due.
+func (k *killer) tick() {
+	if k.after <= 0 || k.pid <= 0 {
+		return
+	}
+	if k.count.Add(1) < k.after {
+		return
+	}
+	k.once.Do(func() {
+		proc, err := os.FindProcess(k.pid)
+		if err == nil {
+			err = proc.Kill()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrdload: kill pid %d: %v\n", k.pid, err)
+			return
+		}
+		k.fired.Store(true)
+		fmt.Printf("mrdload: killed pid %d after %d advances\n", k.pid, k.after)
+	})
+}
+
 // sessionResult is one worker's tally.
 type sessionResult struct {
 	workload   string
@@ -53,12 +106,16 @@ type sessionResult struct {
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:7788", "mrdserver base URL")
+	shards := flag.String("shards", "", "comma-separated shard base URLs; non-empty switches to the consistent-hash failover client (overrides -addr)")
 	sessions := flag.Int("sessions", 8, "concurrent sessions to run")
 	group := flag.String("workload", "scc", "workload group (scc, hibench, mllib, all) or one workload name")
 	parity := flag.Bool("parity", false, "cross-check every server decision against an in-process advisor")
 	nodes := flag.Int("nodes", 4, "modeled worker nodes per session")
 	cache := flag.Int64("cache", 128, "modeled per-node cache in MB")
 	policyKind := flag.String("policy", "MRD", "cache policy kind for every session")
+	killAfter := flag.Int64("kill-after", 0, "SIGKILL -kill-pid after this many successful advances (chaos mode; 0 disables)")
+	killPid := flag.Int("kill-pid", 0, "process to SIGKILL in chaos mode")
+	retryWait := flag.Duration("retry-wait", 3*time.Second, "per-call retry wall-time cap (also the shard-failover detection latency)")
 	flag.Parse()
 
 	names, ok := groups[strings.ToLower(*group)]
@@ -70,10 +127,21 @@ func main() {
 		CacheBytes: *cache * cluster.MB,
 		Policy:     experiments.PolicySpec{Kind: *policyKind},
 	}
-	c := client.New(client.Config{BaseURL: *addr})
 
-	fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %s, policy %s, parity %v\n",
-		*sessions, *group, len(names), *addr, *policyKind, *parity)
+	shardList := splitList(*shards)
+	var c api
+	var sharded *client.Sharded
+	if len(shardList) > 0 {
+		sharded = client.NewSharded(client.ShardedConfig{Shards: shardList, MaxRetryWait: *retryWait})
+		c = sharded
+		fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %d shards, policy %s, parity %v\n",
+			*sessions, *group, len(names), len(shardList), *policyKind, *parity)
+	} else {
+		c = client.New(client.Config{BaseURL: *addr, MaxRetryWait: *retryWait})
+		fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %s, policy %s, parity %v\n",
+			*sessions, *group, len(names), *addr, *policyKind, *parity)
+	}
+	chaos := &killer{after: *killAfter, pid: *killPid}
 
 	start := time.Now()
 	results := make([]sessionResult, *sessions)
@@ -85,7 +153,13 @@ func main() {
 			// Distinct seeds mean each session is "the same workflow over
 			// new data" — the paper's recurring-application model.
 			params := workload.Params{Seed: int64(i + 1)}
-			results[i] = runSession(c, names[i%len(names)], params, advCfg, *parity)
+			// The sharded client needs client-chosen IDs: the ID decides
+			// the owning shard before the session exists.
+			id := ""
+			if sharded != nil {
+				id = fmt.Sprintf("load-%d", i+1)
+			}
+			results[i] = runSession(c, id, names[i%len(names)], params, advCfg, *parity, chaos)
 		}(i)
 	}
 	wg.Wait()
@@ -110,6 +184,15 @@ func main() {
 		okSessions, failed, float64(okSessions)/elapsed.Seconds())
 	fmt.Printf("advice calls:  %d (%.1f calls/s)\n", advances, float64(advances)/elapsed.Seconds())
 	fmt.Printf("latency:       p50 %v  p99 %v\n", percentile(latencies, 50), percentile(latencies, 99))
+	if sharded != nil {
+		st := sharded.Stats()
+		fmt.Printf("failovers:     %d (re-route p50 %v  p99 %v)\n", st.Failovers, st.RerouteP50, st.RerouteP99)
+		perShard := make([]string, 0, len(st.SessionsPerShard))
+		for _, sh := range shardList {
+			perShard = append(perShard, fmt.Sprintf("%s=%d", sh, st.SessionsPerShard[sh]))
+		}
+		fmt.Printf("shard owners:  %s\n", strings.Join(perShard, "  "))
+	}
 	if *parity {
 		fmt.Printf("parity:        %d advice checked, %d mismatches\n", checked, len(mismatches))
 		for i, m := range mismatches {
@@ -128,7 +211,7 @@ func main() {
 // runSession creates one server session, replays the workload's
 // canonical schedule through the HTTP API, and (under -parity) compares
 // every advice fingerprint against the in-process oracle.
-func runSession(c *client.Client, name string, params workload.Params, cfg service.AdvisorConfig, parity bool) sessionResult {
+func runSession(c api, id, name string, params workload.Params, cfg service.AdvisorConfig, parity bool, chaos *killer) sessionResult {
 	res := sessionResult{workload: name}
 	ctx := context.Background()
 
@@ -152,7 +235,7 @@ func runSession(c *client.Client, name string, params workload.Params, cfg servi
 		}
 	}
 
-	created, err := c.CreateSession(ctx, service.CreateSessionRequest{Workload: name, Params: params, Advisor: cfg})
+	created, err := c.CreateSession(ctx, service.CreateSessionRequest{ID: id, Workload: name, Params: params, Advisor: cfg})
 	if err != nil {
 		res.err = fmt.Errorf("create: %w", err)
 		return res
@@ -181,6 +264,7 @@ func runSession(c *client.Client, name string, params workload.Params, cfg servi
 			return res
 		}
 		res.advances++
+		chaos.tick()
 		if oracle != nil {
 			want, err := oracle.Advance(st.Stage)
 			if err != nil {
@@ -209,4 +293,14 @@ func percentile(d []time.Duration, p int) time.Duration {
 		ix--
 	}
 	return s[ix]
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

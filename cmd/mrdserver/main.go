@@ -9,8 +9,19 @@
 //	curl -s localhost:7788/healthz
 //	curl -s localhost:7788/metrics
 //
-// SIGTERM or SIGINT drains in-flight requests and exits cleanly,
-// logging "drained" once the listener is down.
+// Sharded deployment — N shards over one snapshot directory, fronted
+// by a router (see DESIGN.md §12):
+//
+//	mrdserver -addr 127.0.0.1:7701 -snapshot-dir /tmp/snaps \
+//	    -self http://127.0.0.1:7701 \
+//	    -peers http://127.0.0.1:7702,http://127.0.0.1:7703
+//	mrdserver -addr 127.0.0.1:7700 -router \
+//	    -shards http://127.0.0.1:7701,http://127.0.0.1:7702,http://127.0.0.1:7703
+//
+// SIGTERM or SIGINT drains: every live session is snapshotted first
+// (visible as mrdserver_drain_snapshots_written on /metrics during the
+// -drain-linger window), then in-flight requests finish and the
+// listener closes, logging "drained".
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,12 +47,42 @@ func main() {
 	inflight := flag.Int("max-inflight", service.DefaultMaxInflight, "concurrent-request cap; excess requests are shed with 503")
 	reqTimeout := flag.Duration("request-timeout", service.DefaultRequestTimeout, "per-request timeout")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
+	snapDir := flag.String("snapshot-dir", "", "session snapshot directory; empty disables persistence. Shards sharing one directory can adopt each other's sessions")
+	snapEvery := flag.Int("snapshot-every", service.DefaultSnapshotEveryOps, "write a session snapshot after every N mutations")
+	self := flag.String("self", "", "this shard's advertised base URL (required with -peers)")
+	peers := flag.String("peers", "", "comma-separated peer shard base URLs for liveness gossip")
+	hbEvery := flag.Duration("heartbeat-every", service.DefaultHeartbeatEvery, "peer heartbeat period")
+	peerDeadline := flag.Duration("peer-deadline", service.DefaultPeerDeadline, "silence before a peer is reported dead")
+	drainLinger := flag.Duration("drain-linger", 0, "keep serving (metrics included) this long after drain snapshots are written, before closing the listener")
+	router := flag.Bool("router", false, "run as a stateless routing tier over -shards instead of an advisory shard")
+	shards := flag.String("shards", "", "comma-separated shard base URLs (router mode)")
+	probeEvery := flag.Duration("probe-every", service.DefaultProbeEvery, "shard health-probe period (router mode)")
 	flag.Parse()
+
+	if *router {
+		runRouter(*addr, splitList(*shards), *probeEvery, *drain)
+		return
+	}
+
+	var snapStore service.SnapshotStore
+	if *snapDir != "" {
+		ds, err := service.NewDirStore(*snapDir)
+		if err != nil {
+			log.Fatalf("mrdserver: %v", err)
+		}
+		snapStore = ds
+	}
+	peerList := splitList(*peers)
+	if len(peerList) > 0 && *self == "" {
+		log.Fatalf("mrdserver: -peers requires -self")
+	}
 
 	srv := service.NewServer(service.ServerConfig{
 		Registry:       service.RegistryConfig{MaxSessions: *maxSessions, IdleTimeout: *idle},
 		MaxInflight:    *inflight,
 		RequestTimeout: *reqTimeout,
+		Snapshots:      service.SnapshotPolicy{Store: snapStore, EveryOps: *snapEvery},
+		Peers:          service.PeerConfig{Self: *self, Peers: peerList, Every: *hbEvery, Deadline: *peerDeadline},
 	})
 	defer srv.Close()
 
@@ -51,7 +93,58 @@ func main() {
 	hs := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
-	log.Printf("mrdserver: listening on %s (max-sessions=%d, max-inflight=%d)", ln.Addr(), *maxSessions, *inflight)
+	log.Printf("mrdserver: listening on %s (max-sessions=%d, max-inflight=%d, snapshots=%v, peers=%d)",
+		ln.Addr(), *maxSessions, *inflight, snapStore != nil, len(peerList))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("mrdserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain order matters: snapshot every live session FIRST, while the
+	// listener still answers, so (a) no session state is lost if the
+	// drain budget expires, and (b) CI can scrape
+	// mrdserver_drain_snapshots_written from /metrics during the linger
+	// window to assert the drain actually persisted everything.
+	log.Printf("mrdserver: signal received, draining")
+	if n := srv.DrainSnapshots(); snapStore != nil {
+		log.Printf("mrdserver: drain snapshots written: %d", n)
+	}
+	if *drainLinger > 0 {
+		time.Sleep(*drainLinger)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Fatalf("mrdserver: drain failed: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mrdserver: %v", err)
+	}
+	// A final pass catches mutations that raced the first drain pass.
+	srv.DrainSnapshots()
+	log.Printf("mrdserver: drained")
+}
+
+// runRouter serves the stateless routing tier.
+func runRouter(addr string, shards []string, probeEvery, drain time.Duration) {
+	if len(shards) == 0 {
+		log.Fatalf("mrdserver: -router requires -shards")
+	}
+	rt := service.NewRouter(service.RouterConfig{Shards: shards, ProbeEvery: probeEvery})
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("mrdserver: %v", err)
+	}
+	hs := &http.Server{Handler: rt}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("mrdserver: router listening on %s over %d shards", ln.Addr(), len(shards))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -62,7 +155,7 @@ func main() {
 	}
 
 	log.Printf("mrdserver: signal received, draining")
-	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
 		log.Fatalf("mrdserver: drain failed: %v", err)
@@ -71,4 +164,14 @@ func main() {
 		log.Fatalf("mrdserver: %v", err)
 	}
 	log.Printf("mrdserver: drained")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -156,6 +156,11 @@ func audit(w *Workload, events []obs.Event, exact bool) error {
 //
 //   - Two independent advisor replays produce byte-identical decision
 //     fingerprints; two simulator runs produce identical event streams.
+//   - A kill-and-restore replay — the advisor is snapshotted, dropped,
+//     and rebuilt from the JSON-round-tripped snapshot at two points
+//     mid-schedule — produces byte-identical advice fingerprints, the
+//     same event stream, the same Prometheus exposition, and a green
+//     exact-mode audit (the shard-failover guarantee).
 //   - Both streams survive the JSONL wire format exactly, and an
 //     aggregator rebuilt by replaying the recorded stream renders the
 //     same Prometheus exposition as the live one.
@@ -195,6 +200,18 @@ func DiffPolicy(w *Workload, p experiments.PolicySpec) error {
 	if advA.used+advA.wasted+advA.pending != advA.issued {
 		return fmt.Errorf("advisor prefetch ledger leaks: used %d + wasted %d + pending %d != issued %d",
 			advA.used, advA.wasted, advA.pending, advA.issued)
+	}
+
+	// Kill-and-restore leg: die at ~1/3 and ~2/3 of the schedule,
+	// resurrect from a JSON-round-tripped snapshot, and demand the
+	// resulting run is indistinguishable from one that never died.
+	steps := len(service.Schedule(w.Graph))
+	restart, err := runRestartLeg(w, p, map[int]bool{steps / 3: true, (2 * steps) / 3: true})
+	if err != nil {
+		return fmt.Errorf("kill-and-restore leg: %w", err)
+	}
+	if err := diffRestart(w, advA, restart); err != nil {
+		return err
 	}
 
 	simA, err := runSimLeg(w, p)

@@ -283,6 +283,18 @@ func (d *DiskStore) Len() int {
 	return len(d.blocks)
 }
 
+// Blocks returns the IDs of every block on disk (replicas included),
+// in no particular order. Callers sort as needed.
+func (d *DiskStore) Blocks() []block.ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]block.ID, 0, len(d.blocks))
+	for id := range d.blocks {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
 // ReplicaLen returns the number of replica copies on disk.
 func (d *DiskStore) ReplicaLen() int {
 	d.mu.Lock()

@@ -98,6 +98,12 @@ type Advice struct {
 	Job       int        `json:"job"`
 	Decisions []Decision `json:"decisions"`
 	Counters  Counters   `json:"counters"`
+	// Replayed marks advice served from the session's decision log
+	// rather than freshly computed — the response to a retried advance
+	// after a failover handover. Replayed advice is byte-identical to
+	// the original (it is the original) and is excluded from the
+	// fingerprint, which covers only the decision content.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // Fingerprint renders the advice in a canonical single-string form;
@@ -145,6 +151,21 @@ type Advisor struct {
 
 	nextJob   int // next job index expected by SubmitJob
 	lastStage int // last advanced stage ID (-1 before the first)
+
+	// origin identifies the workload the graph was built from, when
+	// known; snapshots of origin-bearing advisors can be restored on a
+	// different process by rebuilding the graph from (Workload, Params).
+	origin *Origin
+	// ops is the session's operation log: every successfully applied
+	// job submission, stage advance and node failure, in arrival order.
+	// Replaying it against a fresh advisor over the same graph rebuilds
+	// this advisor's exact state — the restore mechanism.
+	ops []Op
+	// history is the session's decision log: every advice ever issued,
+	// in advance order. Deterministic replay regenerates it, so it is
+	// never serialized; it makes post-failover retries idempotent (a
+	// re-advanced stage is served its recorded advice).
+	history []Advice
 
 	// Current-advance state, plus the session-lifetime prefetch ledger:
 	// every issued prefetch is eventually used (hit while resident),
@@ -225,6 +246,36 @@ func (a *Advisor) AttachBus(b *obs.Bus) {
 // Config returns the normalized session configuration.
 func (a *Advisor) Config() AdvisorConfig { return a.cfg }
 
+// SetOrigin records the workload identity the session's graph was
+// built from, enabling cross-process snapshot restore (the graph is
+// rebuilt by workload.Build, which is a pure function of the pair).
+func (a *Advisor) SetOrigin(name string, p workload.Params) {
+	a.origin = &Origin{Workload: name, Params: p}
+}
+
+// Origin returns the recorded workload identity, or nil when the
+// advisor was built over a caller-supplied graph.
+func (a *Advisor) Origin() *Origin { return a.origin }
+
+// AdviceFor returns the recorded advice of an already-advanced stage.
+// It lets the server serve idempotent retries: a client that re-issues
+// an advance after a failover handover gets the byte-identical advice
+// the original advance produced.
+func (a *Advisor) AdviceFor(stageID int) (Advice, bool) {
+	// history is ordered by strictly increasing stage ID.
+	i := sort.Search(len(a.history), func(i int) bool { return a.history[i].Stage >= stageID })
+	if i < len(a.history) && a.history[i].Stage == stageID {
+		return a.history[i], true
+	}
+	return Advice{}, false
+}
+
+// History returns the session's full decision log in advance order.
+func (a *Advisor) History() []Advice { return a.history }
+
+// Ops returns the session's operation log (test and snapshot helper).
+func (a *Advisor) Ops() []Op { return a.ops }
+
 // PolicyName returns the instantiated policy's display name.
 func (a *Advisor) PolicyName() string { return a.factory.Name() }
 
@@ -233,6 +284,9 @@ func (a *Advisor) Graph() *dag.Graph { return a.graph }
 
 // NextJob returns the next job index SubmitJob expects.
 func (a *Advisor) NextJob() int { return a.nextJob }
+
+// LastStage returns the last advanced stage ID (-1 before the first).
+func (a *Advisor) LastStage() int { return a.lastStage }
 
 // SubmitJob feeds the next job's DAG to the policy (the DAGScheduler →
 // AppProfiler hand-off; Profile.AddJob runs underneath for DAG-aware
@@ -248,6 +302,7 @@ func (a *Advisor) SubmitJob(jobID int) error {
 		a.jobObs.OnJobSubmit(a.graph.Jobs[jobID])
 	}
 	a.nextJob++
+	a.ops = append(a.ops, Op{Kind: OpSubmitJob, Arg: jobID})
 	return nil
 }
 
@@ -269,6 +324,7 @@ func (a *Advisor) OnNodeFailure(node int) error {
 		a.failObs.OnNodeFailure(node)
 	}
 	a.bus.Emit(obs.Ev(obs.KindNodeFail, node))
+	a.ops = append(a.ops, Op{Kind: OpNodeFail, Arg: node})
 	return nil
 }
 
@@ -306,6 +362,8 @@ func (a *Advisor) Advance(stageID int) (Advice, error) {
 	adv := *a.cur
 	a.cur = nil
 	a.lastStage = stageID
+	a.ops = append(a.ops, Op{Kind: OpAdvance, Arg: stageID})
+	a.history = append(a.history, adv)
 	return adv, nil
 }
 

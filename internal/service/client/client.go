@@ -1,7 +1,11 @@
 // Package client is the typed Go client of the cache-advisory server's
 // /v1 HTTP API, with retry/backoff on shed (503) and transport errors
 // driven by the same fault.Schedule backoff parameters the simulator's
-// fetch-retry path uses.
+// fetch-retry path uses. Retries honor the server's Retry-After hint,
+// spread under jittered exponential backoff, and are capped by a total
+// retry wall-time so a dead server fails fast instead of hanging the
+// caller. Sharded (sharded.go) layers consistent-hash routing and
+// failover over several of these.
 package client
 
 import (
@@ -11,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mrdspark/internal/fault"
@@ -28,13 +34,30 @@ type Config struct {
 	// means the fault package defaults (3 retries, 1ms base, doubling
 	// per attempt).
 	Retry *fault.Schedule
+	// MaxRetryWait caps the total wall-time one call may spend across
+	// retries (enforced as a context deadline); 0 means
+	// DefaultMaxRetryWait, negative disables the cap.
+	MaxRetryWait time.Duration
+	// JitterSeed seeds the backoff jitter; 0 derives one from the
+	// clock. Fixed seeds make retry timing reproducible in tests.
+	JitterSeed uint64
 }
+
+// DefaultMaxRetryWait bounds one call's cumulative retry wall-time.
+const DefaultMaxRetryWait = 30 * time.Second
+
+// maxRetryAfter caps how long a server-sent Retry-After hint can make
+// us sleep — a misbehaving (or clock-skewed) server must not pin the
+// client down for minutes.
+const maxRetryAfter = 5 * time.Second
 
 // Client talks to one advisory server. It is safe for concurrent use.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry *fault.Schedule
+	base    string
+	hc      *http.Client
+	retry   *fault.Schedule
+	maxWait time.Duration
+	jitter  atomic.Uint64 // splitmix64 state
 }
 
 // New builds a client.
@@ -43,7 +66,17 @@ func New(cfg Config) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(cfg.BaseURL, "/"), hc: hc, retry: cfg.Retry}
+	maxWait := cfg.MaxRetryWait
+	if maxWait == 0 {
+		maxWait = DefaultMaxRetryWait
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	c := &Client{base: strings.TrimRight(cfg.BaseURL, "/"), hc: hc, retry: cfg.Retry, maxWait: maxWait}
+	c.jitter.Store(seed)
+	return c
 }
 
 // Error is a non-2xx API response.
@@ -60,6 +93,14 @@ func (e *Error) Error() string {
 func (c *Client) CreateSession(ctx context.Context, req service.CreateSessionRequest) (service.CreateSessionResponse, error) {
 	var resp service.CreateSessionResponse
 	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp)
+	return resp, err
+}
+
+// GetSession fetches the session's replay cursor (restoring it from
+// the snapshot store on demand server-side).
+func (c *Client) GetSession(ctx context.Context, sessionID string) (service.SessionStatus, error) {
+	var resp service.SessionStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+sessionID, nil, &resp)
 	return resp, err
 }
 
@@ -91,9 +132,13 @@ func (c *Client) Healthz(ctx context.Context) (service.Healthz, error) {
 }
 
 // do issues one API call, retrying shed responses (503) and transport
-// errors with the fault schedule's exponential backoff. 503s are safe
-// to retry unconditionally — the bounded-concurrency middleware sheds
-// before any handler state changes.
+// errors. The wait before each retry is the larger of the schedule's
+// jittered exponential backoff and the server's Retry-After hint; the
+// whole call is bounded by MaxRetryWait via a context deadline, so
+// "retries exhausted" and "dead server" both fail within a known
+// budget. 503s are safe to retry unconditionally — the
+// bounded-concurrency middleware sheds before any handler state
+// changes.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -102,17 +147,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return err
 		}
 	}
+	if c.maxWait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.maxWait)
+		defer cancel()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.retry.Retries(); attempt++ {
-		if attempt > 0 {
-			backoff := time.Duration(c.retry.Backoff()<<(attempt-1)) * time.Microsecond
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(backoff):
-			}
-		}
-		retryable, err := c.attempt(ctx, method, path, body, out)
+		retryable, retryAfter, err := c.attempt(ctx, method, path, body, out)
 		if err == nil {
 			return nil
 		}
@@ -120,35 +162,64 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if !retryable {
 			return err
 		}
+		if attempt == c.retry.Retries() {
+			break
+		}
+		wait := c.backoff(attempt)
+		if retryAfter > wait {
+			wait = min(retryAfter, maxRetryAfter)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("client: retry budget exhausted: %w (last: %v)", ctx.Err(), lastErr)
+		case <-time.After(wait):
+		}
 	}
 	return fmt.Errorf("client: retries exhausted: %w", lastErr)
 }
 
-// attempt is one HTTP round trip; it reports whether a failure is worth
-// retrying.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+// backoff is the schedule's exponential base for this attempt with
+// "equal jitter": half deterministic, half uniform-random, so a fleet
+// of clients shed by the same spike doesn't retry in lockstep.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := time.Duration(c.retry.Backoff()<<attempt) * time.Microsecond
+	half := base / 2
+	return half + time.Duration(c.rand()%uint64(half+1))
+}
+
+// rand steps the client's splitmix64 jitter stream.
+func (c *Client) rand() uint64 {
+	z := c.jitter.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// attempt is one HTTP round trip; it reports whether a failure is
+// worth retrying and any server-sent Retry-After hint.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryable bool, retryAfter time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return ctx.Err() == nil, err
+		return ctx.Err() == nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		if out == nil {
 			io.Copy(io.Discard, resp.Body)
-			return false, nil
+			return false, 0, nil
 		}
-		return false, json.NewDecoder(resp.Body).Decode(out)
+		return false, 0, json.NewDecoder(resp.Body).Decode(out)
 	}
 	apiErr := &Error{Status: resp.StatusCode, Msg: resp.Status}
 	var wire struct {
@@ -157,5 +228,27 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if json.NewDecoder(resp.Body).Decode(&wire) == nil && wire.Error != "" {
 		apiErr.Msg = wire.Error
 	}
-	return resp.StatusCode == http.StatusServiceUnavailable, apiErr
+	return resp.StatusCode == http.StatusServiceUnavailable, parseRetryAfter(resp.Header.Get("Retry-After")), apiErr
+}
+
+// parseRetryAfter reads a Retry-After header leniently: RFC 9110
+// allows delay-seconds or an HTTP-date; real servers also emit
+// fractional seconds. Unparseable values mean no hint.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs * float64(time.Second))
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

@@ -1,0 +1,343 @@
+// Sharded is the multi-shard client: rendezvous-hash routing by
+// session ID over N advisory shards, with transparent failover. When a
+// shard dies mid-session, the client marks it dead, re-routes the
+// session to the rendezvous successor, converges the successor's copy
+// (restored from the shared snapshot store) by replaying the session's
+// recorded operation history — every replayed op is idempotent
+// server-side — and then retries the operation that failed. Callers
+// see a slow call, not an error.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mrdspark/internal/fault"
+	"mrdspark/internal/service"
+)
+
+// ShardedConfig shapes a sharded client.
+type ShardedConfig struct {
+	// Shards are the shard base URLs.
+	Shards []string
+	// HTTPClient overrides the per-shard transport; nil means
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Retry tunes each per-shard client's retry schedule.
+	Retry *fault.Schedule
+	// MaxRetryWait caps each per-shard call's retry wall-time (see
+	// Config.MaxRetryWait). Keep it short: it is also the failover
+	// detection latency.
+	MaxRetryWait time.Duration
+	// JitterSeed seeds backoff jitter (see Config.JitterSeed).
+	JitterSeed uint64
+	// Failovers bounds how many distinct shards one operation may try;
+	// 0 means len(Shards).
+	Failovers int
+}
+
+// opKind tags one recorded session operation.
+type opKind uint8
+
+const (
+	opJob opKind = iota
+	opAdvance
+)
+
+type op struct {
+	kind opKind
+	arg  int
+}
+
+// sessionState is the client-side replay source for one session: the
+// create request (to re-materialize the session anywhere) and the op
+// history (to fast-forward a restored copy past any snapshot lag).
+type sessionState struct {
+	mu     sync.Mutex
+	create service.CreateSessionRequest
+	ops    []op
+}
+
+// Sharded routes sessions across shards with failover. It is safe for
+// concurrent use; operations on the same session are serialized.
+type Sharded struct {
+	cfg    ShardedConfig
+	shards *service.ShardMap
+
+	mu       sync.Mutex
+	clients  map[string]*Client
+	sessions map[string]*sessionState
+
+	statsMu   sync.Mutex
+	failovers int64
+	reroutes  []time.Duration
+}
+
+// NewSharded builds a sharded client over the shard group.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	if cfg.Failovers == 0 {
+		cfg.Failovers = len(cfg.Shards)
+	}
+	return &Sharded{
+		cfg:      cfg,
+		shards:   service.NewShardMap(cfg.Shards),
+		clients:  map[string]*Client{},
+		sessions: map[string]*sessionState{},
+	}
+}
+
+// Shards exposes the routing map (tests, stats).
+func (s *Sharded) Shards() *service.ShardMap { return s.shards }
+
+// clientFor returns (building once) the per-shard client.
+func (s *Sharded) clientFor(shard string) *Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.clients[shard]; ok {
+		return c
+	}
+	seed := s.cfg.JitterSeed
+	if seed != 0 {
+		// Derive a distinct stream per shard so two shards' retry
+		// timings don't collide even under a fixed seed.
+		seed = seed*0x9e3779b97f4a7c15 + uint64(len(s.clients)+1)
+	}
+	c := New(Config{
+		BaseURL:      shard,
+		HTTPClient:   s.cfg.HTTPClient,
+		Retry:        s.cfg.Retry,
+		MaxRetryWait: s.cfg.MaxRetryWait,
+		JitterSeed:   seed,
+	})
+	s.clients[shard] = c
+	return c
+}
+
+func (s *Sharded) state(id string) (*sessionState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[id]
+	return st, ok
+}
+
+// CreateSession registers the session on its owning shard. The request
+// must carry a client-chosen ID (consistent-hash routing needs the ID
+// before the session exists); Sharded fails fast otherwise.
+func (s *Sharded) CreateSession(ctx context.Context, req service.CreateSessionRequest) (service.CreateSessionResponse, error) {
+	if req.ID == "" {
+		return service.CreateSessionResponse{}, errors.New("client: sharded CreateSession requires a session ID")
+	}
+	st := &sessionState{create: req}
+	s.mu.Lock()
+	if _, dup := s.sessions[req.ID]; dup {
+		s.mu.Unlock()
+		return service.CreateSessionResponse{}, fmt.Errorf("client: session %q already created through this client", req.ID)
+	}
+	s.sessions[req.ID] = st
+	s.mu.Unlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var resp service.CreateSessionResponse
+	err := s.withFailover(ctx, req.ID, st, func(c *Client) error {
+		var err error
+		resp, err = c.CreateSession(ctx, req)
+		return err
+	})
+	if err != nil {
+		s.mu.Lock()
+		delete(s.sessions, req.ID)
+		s.mu.Unlock()
+	}
+	return resp, err
+}
+
+// SubmitJob feeds the next job to the session, recording it for
+// post-failover replay.
+func (s *Sharded) SubmitJob(ctx context.Context, sessionID string, job int) (service.SubmitJobResponse, error) {
+	st, ok := s.state(sessionID)
+	if !ok {
+		return service.SubmitJobResponse{}, fmt.Errorf("client: unknown session %q", sessionID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var resp service.SubmitJobResponse
+	err := s.withFailover(ctx, sessionID, st, func(c *Client) error {
+		var err error
+		resp, err = c.SubmitJob(ctx, sessionID, job)
+		return err
+	})
+	if err == nil {
+		st.ops = append(st.ops, op{opJob, job})
+	}
+	return resp, err
+}
+
+// Advance moves the session to a stage boundary, recording the op for
+// post-failover replay.
+func (s *Sharded) Advance(ctx context.Context, sessionID string, stage int) (service.Advice, error) {
+	st, ok := s.state(sessionID)
+	if !ok {
+		return service.Advice{}, fmt.Errorf("client: unknown session %q", sessionID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var adv service.Advice
+	err := s.withFailover(ctx, sessionID, st, func(c *Client) error {
+		var err error
+		adv, err = c.Advance(ctx, sessionID, stage)
+		return err
+	})
+	if err == nil {
+		st.ops = append(st.ops, op{opAdvance, stage})
+	}
+	return adv, err
+}
+
+// DeleteSession tears the session down and drops its replay state.
+func (s *Sharded) DeleteSession(ctx context.Context, sessionID string) error {
+	st, ok := s.state(sessionID)
+	if !ok {
+		return fmt.Errorf("client: unknown session %q", sessionID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	err := s.withFailover(ctx, sessionID, st, func(c *Client) error {
+		return c.DeleteSession(ctx, sessionID)
+	})
+	if err == nil {
+		s.mu.Lock()
+		delete(s.sessions, sessionID)
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// withFailover runs call against the session's current owner; on a
+// transport-level failure it marks the owner dead, converges the
+// session on the rendezvous successor, and tries again there. API
+// errors (the server answered) pass through untouched — a 409 is the
+// caller's bug, not a dead shard.
+func (s *Sharded) withFailover(ctx context.Context, sessionID string, st *sessionState, call func(c *Client) error) error {
+	var lastErr error
+	for hop := 0; hop <= s.cfg.Failovers; hop++ {
+		owner := s.shards.Owner(sessionID)
+		if owner == "" {
+			if lastErr != nil {
+				return fmt.Errorf("client: no live shard for %q: %w", sessionID, lastErr)
+			}
+			return fmt.Errorf("client: no live shard for %q", sessionID)
+		}
+		c := s.clientFor(owner)
+		if hop > 0 {
+			// The successor may only have the session as a snapshot, and
+			// that snapshot may trail the ops this client has had
+			// acknowledged. Converge before retrying: adopt (or
+			// re-create) the session, then replay the full recorded
+			// history — every op is idempotent server-side, so replaying
+			// already-applied ops is a cheap no-op.
+			start := time.Now()
+			if err := s.converge(ctx, c, sessionID, st); err != nil {
+				lastErr = err
+				if isAPIError(err) {
+					return fmt.Errorf("client: failover convergence for %q: %w", sessionID, err)
+				}
+				s.shards.MarkDead(owner)
+				continue
+			}
+			s.noteFailover(time.Since(start))
+		}
+		err := call(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if isAPIError(err) {
+			return err
+		}
+		s.shards.MarkDead(owner)
+	}
+	return fmt.Errorf("client: failovers exhausted for %q: %w", sessionID, lastErr)
+}
+
+// converge makes the shard's copy of the session catch up with
+// everything this client has had acknowledged.
+func (s *Sharded) converge(ctx context.Context, c *Client, sessionID string, st *sessionState) error {
+	// Idempotent create: 200 with the restored/live session, 201 with a
+	// fresh one (snapshot lost), either way the session exists.
+	if _, err := c.CreateSession(ctx, st.create); err != nil {
+		return err
+	}
+	for _, o := range st.ops {
+		var err error
+		switch o.kind {
+		case opJob:
+			_, err = c.SubmitJob(ctx, sessionID, o.arg)
+		case opAdvance:
+			_, err = c.Advance(ctx, sessionID, o.arg)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isAPIError reports whether the server answered (any HTTP status):
+// the shard is alive, so failing over would be wrong.
+func isAPIError(err error) bool {
+	var apiErr *Error
+	return errors.As(err, &apiErr)
+}
+
+func (s *Sharded) noteFailover(rerouteLatency time.Duration) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.failovers++
+	s.reroutes = append(s.reroutes, rerouteLatency)
+}
+
+// Stats summarizes the sharded client's failover activity.
+type Stats struct {
+	// Failovers counts successful session re-routes to a successor.
+	Failovers int64
+	// RerouteP50 and RerouteP99 are percentiles of the time one
+	// re-route took (converging the successor, replay included).
+	RerouteP50 time.Duration
+	RerouteP99 time.Duration
+	// SessionsPerShard maps each shard to the sessions it currently
+	// owns under the client's live routing view.
+	SessionsPerShard map[string]int
+}
+
+// Stats computes the current failover summary.
+func (s *Sharded) Stats() Stats {
+	s.statsMu.Lock()
+	lat := append([]time.Duration(nil), s.reroutes...)
+	n := s.failovers
+	s.statsMu.Unlock()
+
+	st := Stats{Failovers: n, SessionsPerShard: map[string]int{}}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		st.RerouteP50 = lat[len(lat)/2]
+		st.RerouteP99 = lat[(len(lat)*99)/100]
+	}
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		if owner := s.shards.Owner(id); owner != "" {
+			st.SessionsPerShard[owner]++
+		}
+	}
+	return st
+}

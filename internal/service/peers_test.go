@@ -1,0 +1,89 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// hookClock drives a peerTable off the registry tests' fakeClock.
+func hookClock(t *peerTable, c *fakeClock) { t.now = c.now }
+
+// TestPeerTableLiveness walks a peer through the alive → silent → dead
+// → revived cycle under a deterministic clock.
+func TestPeerTableLiveness(t *testing.T) {
+	clk := newFakeClock()
+	tbl := newPeerTable(PeerConfig{
+		Self:     "http://self",
+		Peers:    []string{"http://peer"},
+		Deadline: time.Second,
+	})
+	hookClock(tbl, clk)
+
+	st := tbl.status()
+	if len(st.Peers) != 1 || st.Peers[0].Alive || st.Peers[0].LastSeenMs != -1 {
+		t.Fatalf("never-heard peer should be dead with lastSeen -1: %+v", st.Peers)
+	}
+
+	tbl.observe("http://peer")
+	if st := tbl.status(); !st.Peers[0].Alive || st.Peers[0].LastSeenMs != 0 {
+		t.Fatalf("just-observed peer should be alive: %+v", st.Peers[0])
+	}
+
+	clk.advance(999 * time.Millisecond)
+	if st := tbl.status(); !st.Peers[0].Alive {
+		t.Fatal("peer within deadline reported dead")
+	}
+	clk.advance(2 * time.Millisecond)
+	if st := tbl.status(); st.Peers[0].Alive {
+		t.Fatal("peer past deadline reported alive")
+	}
+
+	tbl.observe("http://peer")
+	if st := tbl.status(); !st.Peers[0].Alive {
+		t.Fatal("re-observed peer should be alive again")
+	}
+}
+
+// TestPeerTableGossip checks merged views vouch for peers transitively
+// and that stale gossip never rolls fresher direct evidence back.
+func TestPeerTableGossip(t *testing.T) {
+	clk := newFakeClock()
+	tbl := newPeerTable(PeerConfig{
+		Self:     "http://self",
+		Peers:    []string{"http://a", "http://b"},
+		Deadline: time.Second,
+	})
+	hookClock(tbl, clk)
+
+	// a's heartbeat vouches for b: we have never heard from b directly,
+	// but a has, recently.
+	tbl.observe("http://a")
+	tbl.merge(map[string]int64{"http://b": clk.now().Add(-100 * time.Millisecond).UnixMicro()})
+	st := tbl.status()
+	for _, p := range st.Peers {
+		if !p.Alive {
+			t.Fatalf("peer %s should be alive after gossip: %+v", p.Addr, p)
+		}
+	}
+
+	// Stale gossip about a (older than our direct observation) must not
+	// regress a's freshness.
+	tbl.merge(map[string]int64{"http://a": clk.now().Add(-time.Hour).UnixMicro()})
+	clk.advance(500 * time.Millisecond)
+	if st := tbl.status(); !st.Peers[0].Alive {
+		t.Fatal("stale gossip rolled back fresher direct evidence")
+	}
+
+	// Our own view must vouch for ourselves and everyone we know.
+	v := tbl.view()
+	if _, ok := v["http://self"]; !ok {
+		t.Fatal("view does not vouch for self")
+	}
+	if _, ok := v["http://a"]; !ok {
+		t.Fatal("view dropped a known-alive peer")
+	}
+
+	// A self-entry in incoming gossip is ignored: peers cannot vouch us
+	// alive to ourselves.
+	tbl.merge(map[string]int64{"http://self": 0})
+}

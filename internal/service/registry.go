@@ -16,10 +16,16 @@ type Session struct {
 	ID       string
 	Workload string
 	Created  time.Time
+	// Restored marks a session rebuilt from a snapshot (server restart
+	// or shard failover adoption) rather than created fresh.
+	Restored bool
 
 	mu       sync.Mutex
 	advisor  *Advisor
 	advances int64
+	// opsSinceSnap counts mutations since the last snapshot write; the
+	// server's snapshot cadence runs on it. Owned by the session lock.
+	opsSinceSnap int
 	// cleanup runs exactly once, under the session lock, after the
 	// session leaves the registry (explicit delete, LRU bound, or idle
 	// sweep). The server passes the obs-bus detach here so a retired
@@ -119,15 +125,46 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 func (r *Registry) Create(workloadName string, a *Advisor, cleanup func()) *Session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.nextID++
+	for {
+		r.nextID++
+		id := fmt.Sprintf("s%d", r.nextID)
+		if _, taken := r.sessions[id]; taken {
+			continue // a client-supplied ID squatted on the counter
+		}
+		return r.createLocked(id, workloadName, a, cleanup, false)
+	}
+}
+
+// CreateWithID registers a session under a caller-chosen ID — the
+// sharded deployment's contract, where the client (or router) picks
+// IDs so that consistent-hash routing works before the session
+// exists. restored marks sessions rebuilt from a snapshot. It fails
+// if the ID is already live.
+func (r *Registry) CreateWithID(id, workloadName string, a *Advisor, cleanup func(), restored bool) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.sessions[id]; taken {
+		return nil, fmt.Errorf("service: session %q already exists", id)
+	}
+	return r.createLocked(id, workloadName, a, cleanup, restored), nil
+}
+
+func (r *Registry) createLocked(id, workloadName string, a *Advisor, cleanup func(), restored bool) *Session {
 	s := &Session{
-		ID:       fmt.Sprintf("s%d", r.nextID),
+		ID:       id,
 		Workload: workloadName,
 		Created:  r.now(),
+		Restored: restored,
 		advisor:  a,
 		cleanup:  cleanup,
 		retired:  make(chan struct{}),
 		lastUsed: r.now(),
+	}
+	// A restored advisor arrives with replayed history; seed the served
+	// counter so /healthz and status agree with the pre-crash session.
+	// (Registry fuzzing registers advisor-less sessions; tolerate nil.)
+	if a != nil {
+		s.advances = int64(len(a.History()))
 	}
 	for len(r.sessions) >= r.cfg.MaxSessions {
 		oldest := r.lru.Back()
@@ -189,6 +226,19 @@ func (r *Registry) SweepIdle() int {
 		e = prev
 	}
 	return n
+}
+
+// Sessions returns every live session, in no particular order (the
+// server's drain path snapshots them one by one under their own
+// locks; the registry lock is released before any session is used).
+func (r *Registry) Sessions() []*Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	return out
 }
 
 // Len returns the number of live sessions.

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterConfig wires a stateless routing front over a shard group.
+type RouterConfig struct {
+	// Shards are the shard base URLs the router fans out to.
+	Shards []string
+	// ProbeEvery is the health-probe period; 0 means DefaultProbeEvery,
+	// negative disables the background prober (tests drive liveness via
+	// the map directly).
+	ProbeEvery time.Duration
+	// Client performs the proxied requests; nil gets a 5 s-timeout
+	// default.
+	Client *http.Client
+}
+
+// Router defaults.
+const (
+	DefaultProbeEvery = 500 * time.Millisecond
+	// routerMaxBody bounds buffered request bodies; matched to the
+	// server-side request bound.
+	routerMaxBody = 1 << 20
+	// routerRetries is how many distinct shards a request may try: the
+	// owner plus fallbacks as shards get marked dead under it.
+	routerRetries = 3
+)
+
+// Router is the lightweight routing tier: an http.Handler that owns a
+// ShardMap and forwards every request to the shard that rendezvous
+// hashing assigns its session ID. Creates without a client-chosen ID
+// get one injected — the ID must exist before the session does for
+// consistent routing. A transport failure marks the shard dead and
+// retries against the re-computed owner, which (with the shards
+// sharing a snapshot store) restores the session there; a background
+// prober marks recovered shards alive again.
+//
+// The router itself keeps no session state, so any number of router
+// replicas can front the same shard group.
+type Router struct {
+	cfg    RouterConfig
+	shards *ShardMap
+	client *http.Client
+
+	nextID    atomic.Int64
+	idPrefix  string
+	reroutes  atomic.Int64
+	proxied   atomic.Int64
+	stopProbe chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
+}
+
+// NewRouter builds a router over the shard group. Call Close to stop
+// the health prober.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = DefaultProbeEvery
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	r := &Router{
+		cfg:       cfg,
+		shards:    NewShardMap(cfg.Shards),
+		client:    client,
+		idPrefix:  fmt.Sprintf("r%x", time.Now().UnixNano()&0xffffff),
+		stopProbe: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	if cfg.ProbeEvery > 0 {
+		go r.prober()
+	} else {
+		close(r.probeDone)
+	}
+	return r
+}
+
+// Close stops the background health prober; safe to call repeatedly.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() {
+		close(r.stopProbe)
+		<-r.probeDone
+	})
+}
+
+// Shards exposes the routing map (tests, status).
+func (r *Router) Shards() *ShardMap { return r.shards }
+
+// RouterStatus is the router's own GET /healthz payload.
+type RouterStatus struct {
+	Status   string   `json:"status"`
+	Shards   []string `json:"shards"`
+	Alive    []string `json:"alive"`
+	Version  int64    `json:"version"`
+	Proxied  int64    `json:"proxied"`
+	Reroutes int64    `json:"reroutes"`
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path == "/healthz" && req.Method == http.MethodGet {
+		status := "ok"
+		if len(r.shards.Alive()) == 0 {
+			status = "no-shards"
+		}
+		writeJSON(w, http.StatusOK, RouterStatus{
+			Status:   status,
+			Shards:   r.shards.Shards(),
+			Alive:    r.shards.Alive(),
+			Version:  r.shards.Version(),
+			Proxied:  r.proxied.Load(),
+			Reroutes: r.reroutes.Load(),
+		})
+		return
+	}
+
+	body, err := io.ReadAll(io.LimitReader(req.Body, routerMaxBody+1))
+	if err != nil || len(body) > routerMaxBody {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body"})
+		return
+	}
+
+	key, body, ok := r.routingKey(w, req, body)
+	if !ok {
+		return
+	}
+	r.forward(w, req, key, body)
+}
+
+// routingKey extracts (or injects) the session ID the request routes
+// by. Session-scoped paths carry it in the URL; creates carry it in
+// the JSON body, and get one injected when absent. Requests with no
+// session affinity (peers, health, metrics) route by path so they at
+// least land consistently.
+func (r *Router) routingKey(w http.ResponseWriter, req *http.Request, body []byte) (string, []byte, bool) {
+	if rest, found := strings.CutPrefix(req.URL.Path, "/v1/sessions/"); found {
+		id := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			id = rest[:i]
+		}
+		return id, body, true
+	}
+	if req.URL.Path == "/v1/sessions" && req.Method == http.MethodPost {
+		// Peek at the create body for a client-chosen ID; inject one
+		// otherwise so the session is routable from birth.
+		var probe struct {
+			ID string `json:"id"`
+		}
+		_ = json.Unmarshal(body, &probe)
+		if probe.ID != "" {
+			return probe.ID, body, true
+		}
+		var payload map[string]any
+		if err := json.Unmarshal(body, &payload); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+			return "", nil, false
+		}
+		id := fmt.Sprintf("%s-%d", r.idPrefix, r.nextID.Add(1))
+		payload["id"] = id
+		injected, err := json.Marshal(payload)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return "", nil, false
+		}
+		return id, injected, true
+	}
+	return req.URL.Path, body, true
+}
+
+// forward proxies the request to the key's owner, marking shards dead
+// and re-routing on transport failure.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, key string, body []byte) {
+	tried := map[string]bool{}
+	for attempt := 0; attempt < routerRetries; attempt++ {
+		owner := r.shards.Owner(key)
+		if owner == "" || tried[owner] {
+			break
+		}
+		tried[owner] = true
+		out, err := http.NewRequestWithContext(req.Context(), req.Method, owner+req.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+		out.Header = req.Header.Clone()
+		out.ContentLength = int64(len(body))
+		resp, err := r.client.Do(out)
+		if err != nil {
+			// Transport failure: the shard is unreachable. Route its
+			// keys to survivors and retry there; the shared snapshot
+			// store lets the successor restore the session on demand.
+			r.shards.MarkDead(owner)
+			r.reroutes.Add(1)
+			continue
+		}
+		r.proxied.Add(1)
+		copyResponse(w, resp)
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, apiError{Error: "no reachable shard for " + key})
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// prober polls every shard's /healthz, resurrecting recovered shards
+// and burying unresponsive ones.
+func (r *Router) prober() {
+	defer close(r.probeDone)
+	t := time.NewTicker(r.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopProbe:
+			return
+		case <-t.C:
+			r.probeOnce()
+		}
+	}
+}
+
+func (r *Router) probeOnce() {
+	for _, shard := range r.shards.Shards() {
+		resp, err := r.client.Get(shard + "/healthz")
+		if err != nil {
+			r.shards.MarkDead(shard)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			r.shards.MarkAlive(shard)
+		} else {
+			r.shards.MarkDead(shard)
+		}
+	}
+}

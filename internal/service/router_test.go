@@ -1,0 +1,210 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mrdspark/internal/service"
+	"mrdspark/internal/service/client"
+	"mrdspark/internal/workload"
+)
+
+// shardGroup boots n advisory shards over one shared snapshot store.
+type shardGroup struct {
+	servers []*service.Server
+	tss     []*httptest.Server
+	urls    []string
+}
+
+func newShardGroup(t *testing.T, n int, store service.SnapshotStore) *shardGroup {
+	t.Helper()
+	g := &shardGroup{}
+	for i := 0; i < n; i++ {
+		srv := service.NewServer(service.ServerConfig{Snapshots: service.SnapshotPolicy{Store: store}})
+		ts := httptest.NewServer(srv.Handler())
+		g.servers = append(g.servers, srv)
+		g.tss = append(g.tss, ts)
+		g.urls = append(g.urls, ts.URL)
+	}
+	t.Cleanup(func() {
+		for i := range g.servers {
+			g.tss[i].Close()
+			g.servers[i].Close()
+		}
+	})
+	return g
+}
+
+// kill closes one shard's listener abruptly — the httptest equivalent
+// of SIGKILL as seen from the network.
+func (g *shardGroup) kill(url string) {
+	for i, u := range g.urls {
+		if u == url {
+			g.tss[i].Close()
+			g.servers[i].Close()
+		}
+	}
+}
+
+// TestHeartbeatOverHTTP wires one shard to report on another via the
+// real /v1/peers endpoints.
+func TestHeartbeatOverHTTP(t *testing.T) {
+	srv := service.NewServer(service.ServerConfig{
+		Peers: service.PeerConfig{
+			Self:     "http://self",
+			Peers:    []string{"http://peer"},
+			Every:    time.Hour, // outbound heartbeats irrelevant here
+			Deadline: 200 * time.Millisecond,
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	hb, _ := json.Marshal(service.HeartbeatRequest{From: "http://peer", Seq: 1})
+	resp, err := ts.Client().Post(ts.URL+"/v1/peers/heartbeat", "application/json", bytes.NewReader(hb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr service.HeartbeatResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hr.From != "http://self" {
+		t.Errorf("heartbeat response From = %q", hr.From)
+	}
+	if _, ok := hr.View["http://peer"]; !ok {
+		t.Error("heartbeat response view does not acknowledge the sender")
+	}
+
+	status := func() service.PeersStatus {
+		resp, err := ts.Client().Get(ts.URL + "/v1/peers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st service.PeersStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := status(); len(st.Peers) != 1 || !st.Peers[0].Alive {
+		t.Fatalf("peer should be alive right after heartbeat: %+v", st.Peers)
+	}
+	time.Sleep(250 * time.Millisecond)
+	if st := status(); st.Peers[0].Alive {
+		t.Fatalf("peer should be dead past the deadline: %+v", st.Peers)
+	}
+}
+
+// TestRouterRoutesInjectsAndFailsOver drives a full workload through
+// the router tier: session IDs are injected on create, every request
+// lands on the rendezvous owner, and when that owner dies mid-run the
+// router re-routes to the survivor, which restores the session from
+// the shared snapshot store. The advice stream must stay byte-equal to
+// the in-process oracle throughout.
+func TestRouterRoutesInjectsAndFailsOver(t *testing.T) {
+	const name = "SCC"
+	store := service.NewMemStore()
+	g := newShardGroup(t, 2, store)
+
+	rt := service.NewRouter(service.RouterConfig{Shards: g.urls, ProbeEvery: -1})
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	c := client.New(client.Config{BaseURL: rts.URL, HTTPClient: rts.Client()})
+	ctx := context.Background()
+
+	created, err := c.CreateSession(ctx, service.CreateSessionRequest{Workload: name, Advisor: testAdvisorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == "" {
+		t.Fatal("router did not inject a session ID")
+	}
+	owner := rt.Shards().Owner(created.ID)
+	if ownSrv := findShard(g, owner); ownSrv == nil || ownSrv.Registry().Len() != 1 {
+		t.Fatalf("session did not land on its rendezvous owner %s", owner)
+	}
+
+	spec, err := workload.Build(name, workload.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := service.Schedule(spec.Graph)
+	half := len(steps) / 2
+	want := oracle(t, name)
+	var got []service.Advice
+	drive := func(from, to int) {
+		for _, st := range steps[from:to] {
+			if st.Stage < 0 {
+				if _, err := c.SubmitJob(ctx, created.ID, st.Job); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			adv, err := c.Advance(ctx, created.ID, st.Stage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, adv)
+		}
+	}
+	drive(0, half)
+
+	// Kill the owner. The router's next proxy attempt fails at the
+	// transport, marks it dead, and re-routes to the survivor.
+	g.kill(owner)
+	drive(half, len(steps))
+
+	successor := rt.Shards().Owner(created.ID)
+	if successor == owner || successor == "" {
+		t.Fatalf("router still routes to the dead shard %q", successor)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drove %d advices, oracle has %d", len(got), len(want))
+	}
+	for i := range got {
+		if gf, wf := got[i].Fingerprint(), want[i].Fingerprint(); gf != wf {
+			t.Fatalf("advice %d diverges across router failover:\n  server %s\n  oracle %s", i, gf, wf)
+		}
+	}
+}
+
+// TestRouterHealthz checks the router reports its own status rather
+// than proxying /healthz.
+func TestRouterHealthz(t *testing.T) {
+	rt := service.NewRouter(service.RouterConfig{Shards: []string{"http://unreachable:1"}, ProbeEvery: -1})
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	resp, err := http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.RouterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || len(st.Shards) != 1 {
+		t.Fatalf("router status = %+v", st)
+	}
+}
+
+func findShard(g *shardGroup, url string) *service.Server {
+	for i, u := range g.urls {
+		if u == url {
+			return g.servers[i]
+		}
+	}
+	return nil
+}

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,7 +15,8 @@ import (
 	"mrdspark/internal/workload"
 )
 
-// ServerConfig tunes the advisory server's protection middleware.
+// ServerConfig tunes the advisory server's protection middleware,
+// snapshot persistence and peer liveness.
 type ServerConfig struct {
 	Registry RegistryConfig
 	// MaxInflight bounds concurrently served requests; excess requests
@@ -26,13 +29,31 @@ type ServerConfig struct {
 	// SweepEvery is the idle-session janitor period; 0 means
 	// DefaultSweepEvery.
 	SweepEvery time.Duration
+	// Snapshots configures session persistence; a nil Store disables
+	// both snapshotting and restore-on-demand.
+	Snapshots SnapshotPolicy
+	// Peers wires the server into a shard group for liveness gossip.
+	Peers PeerConfig
+}
+
+// SnapshotPolicy is the server's session-persistence cadence.
+type SnapshotPolicy struct {
+	// Store receives snapshots; nil disables persistence.
+	Store SnapshotStore
+	// EveryOps writes a snapshot after every N session mutations;
+	// 0 means DefaultSnapshotEveryOps. 1 persists every acknowledged
+	// operation, which is what gives shard failover exactly-resumed
+	// sessions; larger values trade durability lag for fewer writes
+	// (the sharded client's op replay covers the gap).
+	EveryOps int
 }
 
 // Server middleware defaults.
 const (
-	DefaultMaxInflight    = 64
-	DefaultRequestTimeout = 30 * time.Second
-	DefaultSweepEvery     = time.Minute
+	DefaultMaxInflight      = 64
+	DefaultRequestTimeout   = 30 * time.Second
+	DefaultSweepEvery       = time.Minute
+	DefaultSnapshotEveryOps = 1
 )
 
 func (c ServerConfig) normalize() ServerConfig {
@@ -45,6 +66,10 @@ func (c ServerConfig) normalize() ServerConfig {
 	if c.SweepEvery == 0 {
 		c.SweepEvery = DefaultSweepEvery
 	}
+	if c.Snapshots.EveryOps == 0 {
+		c.Snapshots.EveryOps = DefaultSnapshotEveryOps
+	}
+	c.Peers = c.Peers.normalize()
 	return c
 }
 
@@ -60,29 +85,62 @@ type Server struct {
 	requests atomic.Int64
 	stopJan  chan struct{}
 	janDone  chan struct{}
+
+	// Snapshot persistence and failover adoption.
+	snapStore    SnapshotStore
+	restoreMu    sync.Mutex // serializes restore-on-demand per server
+	snapsWritten atomic.Int64
+	snapErrors   atomic.Int64
+	restored     atomic.Int64
+	drainSnaps   atomic.Int64
+
+	// Peer liveness.
+	peers    *peerTable
+	hbClient *http.Client
+	stopHB   chan struct{}
+	hbDone   chan struct{}
+
+	// closeOnce makes Close idempotent: failover tests (and belt-and-
+	// braces shutdown paths) may close a killed shard again.
+	closeOnce sync.Once
 }
 
 // NewServer assembles a server. Call Close when done to stop the idle
-// janitor.
+// janitor and the peer heartbeater.
 func NewServer(cfg ServerConfig) *Server {
 	cfg = cfg.normalize()
 	s := &Server{
-		cfg:      cfg,
-		registry: NewRegistry(cfg.Registry),
-		agg:      obs.NewAggregator(),
-		started:  time.Now(),
-		inflight: make(chan struct{}, cfg.MaxInflight),
-		stopJan:  make(chan struct{}),
-		janDone:  make(chan struct{}),
+		cfg:       cfg,
+		registry:  NewRegistry(cfg.Registry),
+		agg:       obs.NewAggregator(),
+		started:   time.Now(),
+		inflight:  make(chan struct{}, cfg.MaxInflight),
+		stopJan:   make(chan struct{}),
+		janDone:   make(chan struct{}),
+		snapStore: cfg.Snapshots.Store,
+		peers:     newPeerTable(cfg.Peers),
+		hbClient:  &http.Client{Timeout: time.Second},
+		stopHB:    make(chan struct{}),
+		hbDone:    make(chan struct{}),
 	}
 	go s.janitor()
+	if len(cfg.Peers.Peers) > 0 {
+		go s.heartbeater()
+	} else {
+		close(s.hbDone)
+	}
 	return s
 }
 
-// Close stops the idle-session janitor.
+// Close stops the idle-session janitor and the peer heartbeater. It
+// is safe to call more than once.
 func (s *Server) Close() {
-	close(s.stopJan)
-	<-s.janDone
+	s.closeOnce.Do(func() {
+		close(s.stopJan)
+		<-s.janDone
+		close(s.stopHB)
+		<-s.hbDone
+	})
 }
 
 // Registry exposes the session table (tests, health).
@@ -115,6 +173,13 @@ type CreateSessionRequest struct {
 	Params workload.Params `json:"params,omitempty"`
 	// Advisor shapes the model cluster and selects the policy.
 	Advisor AdvisorConfig `json:"advisor,omitempty"`
+	// ID, when set, is the client-chosen session ID (required for
+	// consistent-hash shard routing, where the ID must determine the
+	// owning shard before the session exists). Create is idempotent
+	// per ID: re-creating a live or snapshotted session returns the
+	// existing one instead of failing, so a client retrying across a
+	// failover handover converges. Empty means the server assigns one.
+	ID string `json:"id,omitempty"`
 }
 
 // CreateSessionResponse describes the registered session.
@@ -127,6 +192,23 @@ type CreateSessionResponse struct {
 	Jobs       int    `json:"jobs"`
 	Stages     int    `json:"stages"`
 	CachedRDDs int    `json:"cachedRdds"`
+	// Existing marks an idempotent re-create: the session was already
+	// live (or restorable from a snapshot) under this ID.
+	Existing bool `json:"existing,omitempty"`
+}
+
+// SessionStatus is the GET /v1/sessions/{id} payload: the session's
+// replay cursor, which a re-routing client uses to fast-forward after
+// a failover handover.
+type SessionStatus struct {
+	ID        string `json:"id"`
+	Workload  string `json:"workload"`
+	Policy    string `json:"policy"`
+	NextJob   int    `json:"nextJob"`
+	LastStage int    `json:"lastStage"`
+	Advances  int    `json:"advances"`
+	// Restored marks a session rebuilt from a snapshot on this server.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // SubmitJobRequest feeds one job DAG to the session's profiler
@@ -139,6 +221,9 @@ type SubmitJobRequest struct {
 type SubmitJobResponse struct {
 	Job     int `json:"job"`
 	NextJob int `json:"nextJob"`
+	// Replayed marks an idempotent re-submission of an
+	// already-submitted job (a retry across a failover handover).
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // AdvanceRequest moves the session to a stage boundary.
@@ -166,9 +251,12 @@ type apiError struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.handleSubmitJob)
 	mux.HandleFunc("POST /v1/sessions/{id}/stage", s.handleAdvance)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/peers/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("GET /v1/peers", s.handlePeers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	var h http.Handler = mux
@@ -199,6 +287,27 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	if req.ID != "" {
+		if !ValidSessionID(req.ID) {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad session ID %q (want %s)", req.ID, sessionIDPattern)})
+			return
+		}
+		// Idempotent create: a live session under this ID — or one
+		// restorable from the snapshot store — is returned instead of
+		// conflicting, so a client retrying across a failover handover
+		// converges on the surviving state.
+		if sess, ok := s.registry.Get(req.ID); ok {
+			writeJSON(w, http.StatusOK, s.describeSession(sess))
+			return
+		}
+		if sess, err := s.restoreSession(req.ID); err == nil {
+			writeJSON(w, http.StatusOK, s.describeSession(sess))
+			return
+		} else if !errors.Is(err, ErrNoSnapshot) {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+	}
 	spec, err := workload.Build(req.Workload, req.Params)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -209,6 +318,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
+	adv.SetOrigin(req.Workload, req.Params)
 	// Each session gets its own bus — SetStage mutates bus state, so a
 	// shared bus would race across concurrent sessions — but every bus
 	// feeds the one concurrency-safe aggregator behind /metrics.
@@ -220,18 +330,46 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// bound, idle sweep), under the session lock, so a retired session
 	// stops feeding the shared aggregator the moment its last in-flight
 	// request completes.
-	sess := s.registry.Create(spec.Name, adv, detach)
-	cfg := adv.Config()
-	writeJSON(w, http.StatusCreated, CreateSessionResponse{
-		ID:         sess.ID,
-		Workload:   spec.Name,
-		Policy:     adv.PolicyName(),
-		Nodes:      cfg.Nodes,
-		CacheBytes: cfg.CacheBytes,
-		Jobs:       len(spec.Graph.Jobs),
-		Stages:     spec.Graph.ActiveStages(),
-		CachedRDDs: len(spec.Graph.CachedRDDs()),
+	var sess *Session
+	if req.ID != "" {
+		sess, err = s.registry.CreateWithID(req.ID, spec.Name, adv, detach, false)
+		if err != nil { // lost a create race for the same ID
+			detach()
+			if existing, ok := s.registry.Get(req.ID); ok {
+				writeJSON(w, http.StatusOK, s.describeSession(existing))
+				return
+			}
+			writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+			return
+		}
+	} else {
+		sess = s.registry.Create(spec.Name, adv, detach)
+	}
+	resp := s.describeSession(sess)
+	resp.Existing = false
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// describeSession renders the create-response view of a session.
+func (s *Server) describeSession(sess *Session) CreateSessionResponse {
+	var resp CreateSessionResponse
+	_ = sess.WithAdvisor(func(a *Advisor) error {
+		cfg := a.Config()
+		g := a.Graph()
+		resp = CreateSessionResponse{
+			ID:         sess.ID,
+			Workload:   sess.Workload,
+			Policy:     a.PolicyName(),
+			Nodes:      cfg.Nodes,
+			CacheBytes: cfg.CacheBytes,
+			Jobs:       len(g.Jobs),
+			Stages:     g.ActiveStages(),
+			CachedRDDs: len(g.CachedRDDs()),
+			Existing:   true,
+		}
+		return nil
 	})
+	return resp
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -243,19 +381,27 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	var next int
+	var resp SubmitJobResponse
 	err := sess.WithAdvisor(func(a *Advisor) error {
+		// Idempotent replay: a job the session has already consumed is
+		// acknowledged again rather than conflicting, so post-failover
+		// op replay by the sharded client converges.
+		if req.Job >= 0 && req.Job < a.NextJob() {
+			resp = SubmitJobResponse{Job: req.Job, NextJob: a.NextJob(), Replayed: true}
+			return nil
+		}
 		if err := a.SubmitJob(req.Job); err != nil {
 			return err
 		}
-		next = a.NextJob()
+		resp = SubmitJobResponse{Job: req.Job, NextJob: a.NextJob()}
+		s.noteMutation(sess, a)
 		return nil
 	})
 	if err != nil {
 		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, SubmitJobResponse{Job: req.Job, NextJob: next})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
@@ -269,10 +415,20 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	}
 	var advice Advice
 	err := sess.WithAdvisor(func(a *Advisor) error {
+		// Idempotent replay: an already-advanced stage is served its
+		// recorded advice — byte-identical to the original response —
+		// so a retry that lands after the original advance (or after a
+		// failover handover) cannot fork the session.
+		if recorded, ok := a.AdviceFor(req.Stage); ok {
+			advice = recorded
+			advice.Replayed = true
+			return nil
+		}
 		var err error
 		advice, err = a.Advance(req.Stage)
 		if err == nil {
 			sess.advances++
+			s.noteMutation(sess, a)
 		}
 		return err
 	})
@@ -283,9 +439,41 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, advice)
 }
 
+// handleGetSession reports the session's replay cursor (and restores
+// it on demand, like every session-scoped handler).
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var st SessionStatus
+	_ = sess.WithAdvisor(func(a *Advisor) error {
+		st = SessionStatus{
+			ID:        sess.ID,
+			Workload:  sess.Workload,
+			Policy:    a.PolicyName(),
+			NextJob:   a.NextJob(),
+			LastStage: a.LastStage(),
+			Advances:  len(a.History()),
+			Restored:  sess.Restored,
+		}
+		return nil
+	})
+	writeJSON(w, http.StatusOK, st)
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.registry.Delete(id) {
+	deleted := s.registry.Delete(id)
+	// An explicit delete also retires the persisted snapshot: the
+	// session is gone on purpose, not lost.
+	if s.snapStore != nil {
+		if _, err := s.snapStore.Load(id); err == nil {
+			_ = s.snapStore.Delete(id)
+			deleted = true
+		}
+	}
+	if !deleted {
 		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no session %q", id)})
 		return
 	}
@@ -316,17 +504,176 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP mrdserver_sessions Live advisory sessions.\n# TYPE mrdserver_sessions gauge\nmrdserver_sessions %d\n", s.registry.Len())
 	fmt.Fprintf(w, "# HELP mrdserver_requests_total Requests received.\n# TYPE mrdserver_requests_total counter\nmrdserver_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "# HELP mrdserver_snapshots_written_total Session snapshots persisted.\n# TYPE mrdserver_snapshots_written_total counter\nmrdserver_snapshots_written_total %d\n", s.snapsWritten.Load())
+	fmt.Fprintf(w, "# HELP mrdserver_snapshot_errors_total Snapshot writes that failed.\n# TYPE mrdserver_snapshot_errors_total counter\nmrdserver_snapshot_errors_total %d\n", s.snapErrors.Load())
+	fmt.Fprintf(w, "# HELP mrdserver_sessions_restored_total Sessions rebuilt from snapshots (restart or failover adoption).\n# TYPE mrdserver_sessions_restored_total counter\nmrdserver_sessions_restored_total %d\n", s.restored.Load())
+	fmt.Fprintf(w, "# HELP mrdserver_drain_snapshots_written Sessions snapshotted by the last graceful drain.\n# TYPE mrdserver_drain_snapshots_written gauge\nmrdserver_drain_snapshots_written %d\n", s.drainSnaps.Load())
+	alive := 0
+	for _, p := range s.peers.status().Peers {
+		if p.Alive {
+			alive++
+		}
+	}
+	fmt.Fprintf(w, "# HELP mrdserver_peers_alive Peer shards currently within their liveness deadline.\n# TYPE mrdserver_peers_alive gauge\nmrdserver_peers_alive %d\n", alive)
 }
 
-// session resolves the {id} path segment; a miss writes 404.
+// session resolves the {id} path segment, restoring the session from
+// the snapshot store on demand — the failover adoption path: when a
+// shard dies, its sessions' next requests land here on the successor,
+// which rebuilds them from the shared store. A miss writes 404.
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
 	id := r.PathValue("id")
 	sess, ok := s.registry.Get(id)
-	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no session %q", id)})
-		return nil, false
+	if ok {
+		return sess, true
 	}
-	return sess, true
+	sess, err := s.restoreSession(id)
+	if err == nil {
+		return sess, true
+	}
+	if errors.Is(err, ErrNoSnapshot) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no session %q", id)})
+	} else {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: fmt.Sprintf("restore session %q: %v", id, err)})
+	}
+	return nil, false
+}
+
+// restoreSession adopts a snapshotted session into this server's
+// registry: rebuild the advisor by op-log replay, wire it to the
+// shared metrics aggregator exactly like a fresh session, and publish
+// it behind the same per-session lock discipline. Concurrent requests
+// for the same orphaned session are serialized; the losers find the
+// session already registered.
+func (s *Server) restoreSession(id string) (*Session, error) {
+	if s.snapStore == nil {
+		return nil, ErrNoSnapshot
+	}
+	s.restoreMu.Lock()
+	defer s.restoreMu.Unlock()
+	if sess, ok := s.registry.Get(id); ok {
+		return sess, nil // lost the race to a concurrent restore
+	}
+	snap, err := s.snapStore.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	bus := obs.New()
+	bus.SetClock(func() int64 { return time.Since(s.started).Microseconds() })
+	detach := s.agg.Attach(bus)
+	adv, err := RestoreAdvisor(snap, nil, bus)
+	if err != nil {
+		detach()
+		return nil, err
+	}
+	sess, err := s.registry.CreateWithID(id, snap.Workload, adv, detach, true)
+	if err != nil {
+		detach()
+		return nil, err
+	}
+	s.restored.Add(1)
+	return sess, nil
+}
+
+// noteMutation ticks the session's snapshot cadence; called under the
+// session lock right after a successful state change.
+func (s *Server) noteMutation(sess *Session, a *Advisor) {
+	if s.snapStore == nil {
+		return
+	}
+	sess.opsSinceSnap++
+	if sess.opsSinceSnap < s.cfg.Snapshots.EveryOps {
+		return
+	}
+	sess.opsSinceSnap = 0
+	s.writeSnapshot(sess.ID, a)
+}
+
+// writeSnapshot persists one session snapshot, counting the outcome.
+func (s *Server) writeSnapshot(id string, a *Advisor) bool {
+	if err := s.snapStore.Save(a.Snapshot(id)); err != nil {
+		s.snapErrors.Add(1)
+		return false
+	}
+	s.snapsWritten.Add(1)
+	return true
+}
+
+// DrainSnapshots writes a final snapshot of every live session — the
+// graceful-drain path, called while the listener is still accepting
+// (so /metrics can report drain_snapshots_written before the process
+// exits). It returns how many snapshots were written.
+func (s *Server) DrainSnapshots() int {
+	if s.snapStore == nil {
+		return 0
+	}
+	n := 0
+	for _, sess := range s.registry.Sessions() {
+		_ = sess.WithAdvisor(func(a *Advisor) error {
+			if s.writeSnapshot(sess.ID, a) {
+				sess.opsSinceSnap = 0
+				n++
+			}
+			return nil
+		})
+	}
+	s.drainSnaps.Add(int64(n))
+	return n
+}
+
+// heartbeater periodically announces liveness to every peer and folds
+// their gossiped views back into the local table.
+func (s *Server) heartbeater() {
+	defer close(s.hbDone)
+	t := time.NewTicker(s.cfg.Peers.Every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopHB:
+			return
+		case <-t.C:
+			s.sendHeartbeats()
+		}
+	}
+}
+
+func (s *Server) sendHeartbeats() {
+	hb := HeartbeatRequest{From: s.cfg.Peers.Self, Seq: s.peers.nextSeq(), View: s.peers.view()}
+	body, err := json.Marshal(hb)
+	if err != nil {
+		return
+	}
+	for _, peer := range s.cfg.Peers.Peers {
+		resp, err := s.hbClient.Post(peer+"/v1/peers/heartbeat", "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		var hr HeartbeatResponse
+		if json.NewDecoder(resp.Body).Decode(&hr) == nil {
+			// A response is direct evidence the peer is alive; its view
+			// vouches for shards we cannot reach ourselves.
+			s.peers.observe(peer)
+			s.peers.merge(hr.View)
+		}
+		resp.Body.Close()
+	}
+}
+
+// handleHeartbeat receives a peer's liveness announcement and answers
+// with this shard's merged view (the gossip exchange).
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.peers.observe(req.From)
+	s.peers.merge(req.View)
+	writeJSON(w, http.StatusOK, HeartbeatResponse{From: s.cfg.Peers.Self, View: s.peers.view()})
+}
+
+// handlePeers reports this shard's liveness table.
+func (s *Server) handlePeers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.peers.status())
 }
 
 // readJSON decodes the request body, rejecting unknown fields; a

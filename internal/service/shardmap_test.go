@@ -1,0 +1,104 @@
+package service_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mrdspark/internal/service"
+)
+
+func testShards() []string {
+	return []string{"http://s1:7701", "http://s2:7702", "http://s3:7703"}
+}
+
+func keysOwned(m *service.ShardMap, n int) map[string]string {
+	owners := map[string]string{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("session-%d", i)
+		owners[k] = m.Owner(k)
+	}
+	return owners
+}
+
+// TestShardMapDeterministicAndBalanced: two independently built maps
+// agree on every owner (clients and routers route consistently with no
+// coordination), and rendezvous hashing spreads keys across all
+// shards.
+func TestShardMapDeterministicAndBalanced(t *testing.T) {
+	a, b := service.NewShardMap(testShards()), service.NewShardMap(testShards())
+	perShard := map[string]int{}
+	for k, owner := range keysOwned(a, 1000) {
+		if got := b.Owner(k); got != owner {
+			t.Fatalf("maps disagree on %q: %q vs %q", k, owner, got)
+		}
+		perShard[owner]++
+	}
+	for _, s := range testShards() {
+		if perShard[s] == 0 {
+			t.Errorf("shard %s owns no keys out of 1000", s)
+		}
+	}
+	// Rough balance: no shard should own more than half of the keys.
+	for s, n := range perShard {
+		if n > 500 {
+			t.Errorf("shard %s owns %d/1000 keys — distribution is badly skewed", s, n)
+		}
+	}
+}
+
+// TestShardMapMinimalDisruption: killing one shard must move ONLY the
+// keys it owned; every other key keeps its owner. Reviving it must
+// restore the exact original assignment.
+func TestShardMapMinimalDisruption(t *testing.T) {
+	m := service.NewShardMap(testShards())
+	before := keysOwned(m, 1000)
+	dead := testShards()[1]
+
+	if !m.MarkDead(dead) {
+		t.Fatal("MarkDead returned false for a live shard")
+	}
+	if m.MarkDead(dead) {
+		t.Error("MarkDead returned true twice")
+	}
+	if v := m.Version(); v != 1 {
+		t.Errorf("version after MarkDead = %d, want 1", v)
+	}
+	moved := 0
+	for k, owner := range keysOwned(m, 1000) {
+		if before[k] == dead {
+			moved++
+			if owner == dead || owner == "" {
+				t.Fatalf("key %q still routed to the dead shard", k)
+			}
+		} else if owner != before[k] {
+			t.Fatalf("key %q moved from %q to %q although its owner survived", k, before[k], owner)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead shard owned no keys — test is vacuous")
+	}
+
+	if !m.MarkAlive(dead) {
+		t.Fatal("MarkAlive returned false for a dead shard")
+	}
+	for k, owner := range keysOwned(m, 1000) {
+		if owner != before[k] {
+			t.Fatalf("key %q did not return to %q after revival (got %q)", k, before[k], owner)
+		}
+	}
+	if alive := m.Alive(); len(alive) != 3 {
+		t.Errorf("Alive after revival = %v", alive)
+	}
+}
+
+// TestShardMapAllDead: with no live shards Owner returns empty rather
+// than inventing a destination.
+func TestShardMapAllDead(t *testing.T) {
+	m := service.NewShardMap(testShards())
+	for _, s := range testShards() {
+		m.MarkDead(s)
+	}
+	if owner := m.Owner("k"); owner != "" {
+		t.Fatalf("Owner with all shards dead = %q, want empty", owner)
+	}
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoSnapshot is returned by SnapshotStore.Load when no snapshot
+// exists for the session.
+var ErrNoSnapshot = errors.New("service: no snapshot")
+
+// SnapshotStore persists session snapshots. A store shared between
+// shards (a shared directory first; an object store fits the same
+// interface) is what lets a surviving shard adopt a dead shard's
+// sessions. Implementations must be safe for concurrent use.
+type SnapshotStore interface {
+	// Save writes (or atomically replaces) the session's snapshot.
+	Save(s *Snapshot) error
+	// Load returns the session's snapshot, or ErrNoSnapshot.
+	Load(sessionID string) (*Snapshot, error)
+	// Delete removes the session's snapshot; absent is not an error.
+	Delete(sessionID string) error
+	// List returns the stored session IDs in sorted order.
+	List() ([]string, error)
+}
+
+// sessionIDPattern is the shape of session IDs that may name snapshot
+// files (and that clients may supply at create time).
+var sessionIDPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// ValidSessionID reports whether id is safe to use as a session key:
+// nonempty, bounded, and free of path or header metacharacters.
+func ValidSessionID(id string) bool {
+	return sessionIDPattern.MatchString(id) && id != "." && id != ".."
+}
+
+// DirStore is a SnapshotStore over a local directory: one JSON file
+// per session, written via temp-file + rename so readers never observe
+// a torn snapshot even when shards share the directory.
+type DirStore struct {
+	dir string
+}
+
+const snapSuffix = ".snap.json"
+
+// NewDirStore creates the directory if needed and returns the store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: snapshot dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (d *DirStore) path(id string) string { return filepath.Join(d.dir, id+snapSuffix) }
+
+// Save implements SnapshotStore.
+func (d *DirStore) Save(s *Snapshot) error {
+	if !ValidSessionID(s.SessionID) {
+		return fmt.Errorf("service: snapshot has unusable session ID %q", s.SessionID)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, s.SessionID+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.path(s.SessionID)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Load implements SnapshotStore.
+func (d *DirStore) Load(sessionID string) (*Snapshot, error) {
+	if !ValidSessionID(sessionID) {
+		return nil, ErrNoSnapshot
+	}
+	data, err := os.ReadFile(d.path(sessionID))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoSnapshot
+	}
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("service: corrupt snapshot %q: %w", sessionID, err)
+	}
+	return &s, nil
+}
+
+// Delete implements SnapshotStore.
+func (d *DirStore) Delete(sessionID string) error {
+	if !ValidSessionID(sessionID) {
+		return nil
+	}
+	err := os.Remove(d.path(sessionID))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List implements SnapshotStore.
+func (d *DirStore) List() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, snapSuffix) {
+			ids = append(ids, strings.TrimSuffix(name, snapSuffix))
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// MemStore is an in-memory SnapshotStore for tests and single-process
+// multi-shard setups (several Servers sharing one MemStore model a
+// shared snapshot service without touching disk).
+type MemStore struct {
+	mu    sync.Mutex
+	snaps map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{snaps: map[string][]byte{}} }
+
+// Save implements SnapshotStore.
+func (m *MemStore) Save(s *Snapshot) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snaps[s.SessionID] = data
+	return nil
+}
+
+// Load implements SnapshotStore.
+func (m *MemStore) Load(sessionID string) (*Snapshot, error) {
+	m.mu.Lock()
+	data, ok := m.snaps[sessionID]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSnapshot
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Delete implements SnapshotStore.
+func (m *MemStore) Delete(sessionID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.snaps, sessionID)
+	return nil
+}
+
+// List implements SnapshotStore.
+func (m *MemStore) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.snaps))
+	for id := range m.snaps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
