@@ -53,6 +53,10 @@ var baselineBenchmarks = []struct {
 	{"BenchmarkSimulateSCCLRU", BenchmarkSimulateSCCLRU},
 	{"BenchmarkSimulateSCCObserved", BenchmarkSimulateSCCObserved},
 	{"BenchmarkObsEmitDisabled", BenchmarkObsEmitDisabled},
+	{"BenchmarkServiceSession", BenchmarkServiceSession},
+	{"BenchmarkServiceStatusUntraced", BenchmarkServiceStatusUntraced},
+	{"BenchmarkServiceStatusTraced", BenchmarkServiceStatusTraced},
+	{"BenchmarkTraceSpanDisabled", BenchmarkTraceSpanDisabled},
 }
 
 func TestWriteBenchBaseline(t *testing.T) {

@@ -1,0 +1,130 @@
+package mrdspark
+
+// Service-side benchmarks: the cost of taking advice over HTTP rather
+// than in process, and the tax of the tracing layer on the request
+// path. BenchmarkServiceStatusUntraced doubles as the zero-alloc guard
+// for the disabled tracer — the service discipline mirrors obs.Emit's.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/experiments"
+	"mrdspark/internal/obs/trace"
+	"mrdspark/internal/service"
+	"mrdspark/internal/workload"
+)
+
+// benchServe drives one request through the full middleware stack and
+// fails the benchmark on a non-2xx status.
+func benchServe(b *testing.B, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, path, &buf))
+	if rec.Code/100 != 2 {
+		b.Fatalf("%s %s: %d %s", method, path, rec.Code, rec.Body.String())
+	}
+	return rec
+}
+
+func benchAdvisorConfig() service.AdvisorConfig {
+	return service.AdvisorConfig{Nodes: 4, CacheBytes: 64 * cluster.MB, Policy: experiments.SpecMRD}
+}
+
+// BenchmarkServiceSession measures a full SCC advisory session through
+// the HTTP handler stack — create, submit every job, take advice at
+// every stage boundary — and reports advice throughput.
+func BenchmarkServiceSession(b *testing.B) {
+	srv := service.NewServer(service.ServerConfig{})
+	defer srv.Close()
+	h := srv.Handler()
+	spec, err := workload.Build("SCC", workload.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	steps := service.Schedule(spec.Graph)
+	advances := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		benchServe(b, h, http.MethodPost, "/v1/sessions",
+			service.CreateSessionRequest{ID: id, Workload: "SCC", Advisor: benchAdvisorConfig()})
+		for _, st := range steps {
+			if st.Stage < 0 {
+				benchServe(b, h, http.MethodPost, "/v1/sessions/"+id+"/jobs",
+					service.SubmitJobRequest{Job: st.Job})
+				continue
+			}
+			benchServe(b, h, http.MethodPost, "/v1/sessions/"+id+"/stage",
+				service.AdvanceRequest{Stage: st.Stage})
+			advances++
+		}
+		benchServe(b, h, http.MethodDelete, "/v1/sessions/"+id, nil)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(advances)/b.Elapsed().Seconds(), "advice/s")
+}
+
+// benchStatusServer boots a server with one live session and returns
+// the handler plus the hot status path.
+func benchStatusServer(b *testing.B, tracer *trace.Tracer) (http.Handler, string) {
+	srv := service.NewServer(service.ServerConfig{Trace: service.TraceConfig{Tracer: tracer}})
+	b.Cleanup(srv.Close)
+	h := srv.Handler()
+	benchServe(b, h, http.MethodPost, "/v1/sessions",
+		service.CreateSessionRequest{ID: "bench-status", Workload: "SCC", Advisor: benchAdvisorConfig()})
+	return h, "/v1/sessions/bench-status"
+}
+
+// BenchmarkServiceStatusUntraced is the hot read path with tracing off.
+// The disabled tracer must add zero allocations over the handler's own
+// work; the delta to BenchmarkServiceStatusTraced is the span tax.
+func BenchmarkServiceStatusUntraced(b *testing.B) {
+	h, path := benchStatusServer(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServe(b, h, http.MethodGet, path, nil)
+	}
+}
+
+// BenchmarkServiceStatusTraced is the same path with a live tracer
+// recording a root span per request.
+func BenchmarkServiceStatusTraced(b *testing.B) {
+	h, path := benchStatusServer(b, trace.NewTracer(trace.DefaultCapacity))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServe(b, h, http.MethodGet, path, nil)
+	}
+}
+
+// BenchmarkTraceSpanDisabled is the acceptance guard for the tracer
+// itself: a nil *trace.Tracer's Start/End must cost a nil check and
+// zero allocations, matching the obs.Emit discipline, so shipping the
+// instrumentation everywhere is free until someone turns it on.
+func BenchmarkTraceSpanDisabled(b *testing.B) {
+	var tr *trace.Tracer
+	parent := trace.SpanContext{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(parent, "disabled")
+		sp.End()
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(parent, "disabled")
+		sp.End()
+	}); n != 0 {
+		b.Fatalf("disabled tracer allocates %.1f per span", n)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"mrdspark/internal/cluster"
 	"mrdspark/internal/experiments"
+	"mrdspark/internal/obs/trace"
 	"mrdspark/internal/service"
 	"mrdspark/internal/service/client"
 	"mrdspark/internal/workload"
@@ -94,6 +95,57 @@ func (k *killer) tick() {
 	})
 }
 
+// hopStats folds every successful call's per-hop breakdown (parsed
+// from the X-Mrd-* response headers) into router/shard/compute latency
+// samples plus a traced-response tally.
+type hopStats struct {
+	mu      sync.Mutex
+	router  []time.Duration
+	shard   []time.Duration
+	compute []time.Duration
+	traced  int
+	total   int
+}
+
+func (h *hopStats) add(hp client.Hops) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.total++
+	if hp.TraceID != "" {
+		h.traced++
+	}
+	if hp.RouterUs >= 0 {
+		h.router = append(h.router, time.Duration(hp.RouterUs)*time.Microsecond)
+	}
+	if hp.ShardUs >= 0 {
+		h.shard = append(h.shard, time.Duration(hp.ShardUs)*time.Microsecond)
+	}
+	if hp.ComputeUs >= 0 {
+		h.compute = append(h.compute, time.Duration(hp.ComputeUs)*time.Microsecond)
+	}
+}
+
+// report prints the per-hop breakdown next to the end-to-end latency
+// percentiles; hops a tier never stamped (e.g. router with -addr) are
+// omitted.
+func (h *hopStats) report() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return
+	}
+	line := func(name string, d []time.Duration) {
+		if len(d) == 0 {
+			return
+		}
+		fmt.Printf("  %-8s p50 %v  p99 %v  (%d samples)\n", name, percentile(d, 50), percentile(d, 99), len(d))
+	}
+	fmt.Printf("per-hop:       %d/%d responses traced\n", h.traced, h.total)
+	line("router", h.router)
+	line("shard", h.shard)
+	line("compute", h.compute)
+}
+
 // sessionResult is one worker's tally.
 type sessionResult struct {
 	workload   string
@@ -116,6 +168,9 @@ func main() {
 	killAfter := flag.Int64("kill-after", 0, "SIGKILL -kill-pid after this many successful advances (chaos mode; 0 disables)")
 	killPid := flag.Int("kill-pid", 0, "process to SIGKILL in chaos mode")
 	retryWait := flag.Duration("retry-wait", 3*time.Second, "per-call retry wall-time cap (also the shard-failover detection latency)")
+	traceCap := flag.Int("trace-capacity", 4*trace.DefaultCapacity, "client span ring capacity; 0 disables client-side tracing")
+	traceOut := flag.String("trace-out", "", "write the client span export (JSONL) here at exit")
+	traceChrome := flag.String("trace-chrome", "", "write the Chrome trace_event export here at exit")
 	flag.Parse()
 
 	names, ok := groups[strings.ToLower(*group)]
@@ -128,16 +183,28 @@ func main() {
 		Policy:     experiments.PolicySpec{Kind: *policyKind},
 	}
 
+	var tracer *trace.Tracer
+	if *traceCap > 0 {
+		tracer = trace.NewTracer(*traceCap)
+	}
+	hops := &hopStats{}
+
 	shardList := splitList(*shards)
 	var c api
 	var sharded *client.Sharded
 	if len(shardList) > 0 {
-		sharded = client.NewSharded(client.ShardedConfig{Shards: shardList, MaxRetryWait: *retryWait})
+		sharded = client.NewSharded(client.ShardedConfig{
+			Shards: shardList, MaxRetryWait: *retryWait,
+			Tracer: tracer, OnHops: hops.add,
+		})
 		c = sharded
 		fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %d shards, policy %s, parity %v\n",
 			*sessions, *group, len(names), len(shardList), *policyKind, *parity)
 	} else {
-		c = client.New(client.Config{BaseURL: *addr, MaxRetryWait: *retryWait})
+		c = client.New(client.Config{
+			BaseURL: *addr, MaxRetryWait: *retryWait,
+			Tracer: tracer, OnHops: hops.add,
+		})
 		fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %s, policy %s, parity %v\n",
 			*sessions, *group, len(names), *addr, *policyKind, *parity)
 	}
@@ -184,9 +251,17 @@ func main() {
 		okSessions, failed, float64(okSessions)/elapsed.Seconds())
 	fmt.Printf("advice calls:  %d (%.1f calls/s)\n", advances, float64(advances)/elapsed.Seconds())
 	fmt.Printf("latency:       p50 %v  p99 %v\n", percentile(latencies, 50), percentile(latencies, 99))
+	hops.report()
 	if sharded != nil {
 		st := sharded.Stats()
 		fmt.Printf("failovers:     %d (re-route p50 %v  p99 %v)\n", st.Failovers, st.RerouteP50, st.RerouteP99)
+		for _, ev := range st.Reroutes {
+			line := fmt.Sprintf("  re-route:    %s -> %s (%d ops replayed, %v)", ev.Session, ev.Owner, ev.Ops, ev.Latency)
+			if ev.Trace != "" {
+				line += " trace=" + ev.Trace
+			}
+			fmt.Println(line)
+		}
 		perShard := make([]string, 0, len(st.SessionsPerShard))
 		for _, sh := range shardList {
 			perShard = append(perShard, fmt.Sprintf("%s=%d", sh, st.SessionsPerShard[sh]))
@@ -203,8 +278,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mrdload: MISMATCH %s\n", m)
 		}
 	}
+	exportTraces(tracer, *traceOut, *traceChrome)
 	if failed > 0 || len(mismatches) > 0 {
 		os.Exit(1)
+	}
+}
+
+// exportTraces writes the client-side span exports (either path empty
+// means skip). A nil tracer writes empty-but-valid files so scripted
+// runs can rely on the artifact existing.
+func exportTraces(tracer *trace.Tracer, jsonlPath, chromePath string) {
+	write := func(path string, render func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrdload: trace export: %v\n", err)
+			return
+		}
+		if err := render(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mrdload: trace export %s: %v\n", path, err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mrdload: trace export %s: %v\n", path, err)
+		}
+	}
+	spans := tracer.Spans()
+	write(jsonlPath, func(f *os.File) error { return trace.WriteJSONL(f, spans) })
+	write(chromePath, func(f *os.File) error { return trace.WriteChromeTrace(f, spans) })
+	if jsonlPath != "" || chromePath != "" {
+		total, dropped := tracer.Stats()
+		fmt.Printf("traces:        exported %d spans (recorded %d, ring dropped %d)\n", len(spans), total, dropped)
 	}
 }
 

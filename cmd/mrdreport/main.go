@@ -5,32 +5,49 @@
 // counters that never enter the event stream (I/O byte volumes, wall
 // time) are absent in replayed reports.
 //
+// It also renders service span exports (mrdserver/mrdload -trace-out)
+// as an offline request waterfall, and can merge several exports —
+// e.g. one per tier — into a single stitched timeline.
+//
 // Usage:
 //
 //	mrdsim -workload SCC -trace trace.jsonl
 //	mrdreport -trace trace.jsonl -o report.html
 //	mrdreport -trace trace.jsonl -prom metrics.txt
+//	mrdreport -spans client.jsonl,router.jsonl,shard.jsonl -o waterfall.html
 package main
 
 import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"flag"
 
 	"mrdspark/internal/obs"
+	"mrdspark/internal/obs/trace"
 )
 
 func main() {
-	traceFile := flag.String("trace", "", "JSONL event trace to replay (required; - for stdin)")
+	traceFile := flag.String("trace", "", "JSONL event trace to replay (- for stdin)")
+	spanFiles := flag.String("spans", "", "comma-separated span JSONL exports (mrdserver/mrdload -trace-out) to render as a request waterfall; merged into one timeline")
 	out := flag.String("o", "", "write the HTML report to this file (- for stdout)")
 	promFile := flag.String("prom", "", "write the Prometheus text exposition to this file")
+	chromeOut := flag.String("chrome", "", "with -spans: also write the merged spans as a Chrome trace_event file")
 	title := flag.String("title", "replayed trace", "report title (the trace does not carry workload/policy names)")
 	flag.Parse()
 
+	if *spanFiles != "" {
+		if *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "mrdreport: -trace and -spans are mutually exclusive")
+			os.Exit(2)
+		}
+		runSpans(*spanFiles, *out, *chromeOut, *title)
+		return
+	}
 	if *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "mrdreport: -trace is required")
+		fmt.Fprintln(os.Stderr, "mrdreport: one of -trace or -spans is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,6 +89,65 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mrdreport:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runSpans merges one or more span JSONL exports and renders the
+// request waterfall (plus, optionally, a Chrome trace_event file).
+// Merging matters because each tier exports its own ring: the stitch
+// into full request trees only appears once client, router, and shard
+// spans sit in one timeline.
+func runSpans(files, out, chromeOut, title string) {
+	var spans []trace.Span
+	for _, path := range strings.Split(files, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		var in io.Reader = os.Stdin
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mrdreport:", err)
+				os.Exit(1)
+			}
+			got, err := trace.ReadJSONL(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrdreport: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			spans = append(spans, got...)
+			continue
+		}
+		got, err := trace.ReadJSONL(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrdreport:", err)
+			os.Exit(1)
+		}
+		spans = append(spans, got...)
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(os.Stderr, "mrdreport: span exports are empty")
+		os.Exit(1)
+	}
+	if title == "replayed trace" {
+		title = "request waterfall"
+	}
+	if chromeOut != "" {
+		if err := writeTo(chromeOut, func(w io.Writer) error { return trace.WriteChromeTrace(w, spans) }); err != nil {
+			fmt.Fprintln(os.Stderr, "mrdreport:", err)
+			os.Exit(1)
+		}
+	}
+	if out == "" && chromeOut != "" {
+		return
+	}
+	if out == "" {
+		out = "-"
+	}
+	if err := writeTo(out, func(w io.Writer) error { return obs.WriteTraceWaterfall(w, spans, title) }); err != nil {
+		fmt.Fprintln(os.Stderr, "mrdreport:", err)
+		os.Exit(1)
 	}
 }
 

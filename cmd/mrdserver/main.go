@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"mrdspark/internal/obs/trace"
 	"mrdspark/internal/service"
 )
 
@@ -57,10 +58,24 @@ func main() {
 	router := flag.Bool("router", false, "run as a stateless routing tier over -shards instead of an advisory shard")
 	shards := flag.String("shards", "", "comma-separated shard base URLs (router mode)")
 	probeEvery := flag.Duration("probe-every", service.DefaultProbeEvery, "shard health-probe period (router mode)")
+	traceCap := flag.Int("trace-capacity", trace.DefaultCapacity, "span ring-buffer capacity; 0 disables tracing entirely (zero-alloc hot path)")
+	traceOut := flag.String("trace-out", "", "write the span export (JSONL) here on drain")
+	traceChrome := flag.String("trace-chrome", "", "write the Chrome trace_event export here on drain")
+	debugAddr := flag.String("debug-addr", "", "separate listener for pprof and live span exports (/debug/pprof/, /debug/spans.jsonl, /debug/trace.json); empty disables")
+	slowReq := flag.Duration("slow-request", 0, "log requests slower than this; 0 disables")
+	queueGrace := flag.Duration("queue-grace", 0, "at capacity, wait up to this long for an inflight slot before shedding; 0 sheds immediately")
 	flag.Parse()
 
+	var tracer *trace.Tracer
+	if *traceCap > 0 {
+		tracer = trace.NewTracer(*traceCap)
+	}
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, tracer)
+	}
+
 	if *router {
-		runRouter(*addr, splitList(*shards), *probeEvery, *drain)
+		runRouter(*addr, splitList(*shards), *probeEvery, *drain, tracer, *traceOut, *traceChrome)
 		return
 	}
 
@@ -81,8 +96,10 @@ func main() {
 		Registry:       service.RegistryConfig{MaxSessions: *maxSessions, IdleTimeout: *idle},
 		MaxInflight:    *inflight,
 		RequestTimeout: *reqTimeout,
+		QueueGrace:     *queueGrace,
 		Snapshots:      service.SnapshotPolicy{Store: snapStore, EveryOps: *snapEvery},
 		Peers:          service.PeerConfig{Self: *self, Peers: peerList, Every: *hbEvery, Deadline: *peerDeadline},
+		Trace:          service.TraceConfig{Tracer: tracer, SlowRequest: *slowReq},
 	})
 	defer srv.Close()
 
@@ -126,15 +143,19 @@ func main() {
 	}
 	// A final pass catches mutations that raced the first drain pass.
 	srv.DrainSnapshots()
+	exportTraces(tracer, *traceOut, *traceChrome)
 	log.Printf("mrdserver: drained")
 }
 
 // runRouter serves the stateless routing tier.
-func runRouter(addr string, shards []string, probeEvery, drain time.Duration) {
+func runRouter(addr string, shards []string, probeEvery, drain time.Duration, tracer *trace.Tracer, traceOut, traceChrome string) {
 	if len(shards) == 0 {
 		log.Fatalf("mrdserver: -router requires -shards")
 	}
-	rt := service.NewRouter(service.RouterConfig{Shards: shards, ProbeEvery: probeEvery})
+	rt := service.NewRouter(service.RouterConfig{
+		Shards: shards, ProbeEvery: probeEvery,
+		Trace: service.TraceConfig{Tracer: tracer},
+	})
 	defer rt.Close()
 
 	ln, err := net.Listen("tcp", addr)
@@ -163,7 +184,53 @@ func runRouter(addr string, shards []string, probeEvery, drain time.Duration) {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("mrdserver: %v", err)
 	}
+	exportTraces(tracer, traceOut, traceChrome)
 	log.Printf("mrdserver: drained")
+}
+
+// serveDebug starts the debug listener: pprof plus the live span
+// exports. It is meant for a loopback/ops address, never the public
+// one — which is why it is a separate listener behind its own flag.
+func serveDebug(addr string, tracer *trace.Tracer) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("mrdserver: debug listener: %v", err)
+	}
+	log.Printf("mrdserver: debug endpoints on %s (pprof, spans.jsonl, trace.json)", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, service.DebugHandler(tracer)); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("mrdserver: debug listener: %v", err)
+		}
+	}()
+}
+
+// exportTraces writes the drain-time span exports (either path empty
+// means skip). A nil tracer writes empty-but-valid files so callers
+// can rely on the artifact existing.
+func exportTraces(tracer *trace.Tracer, jsonlPath, chromePath string) {
+	write := func(path string, render func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Printf("mrdserver: trace export: %v", err)
+			return
+		}
+		if err := render(f); err != nil {
+			log.Printf("mrdserver: trace export %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Printf("mrdserver: trace export %s: %v", path, err)
+		}
+	}
+	spans := tracer.Spans()
+	write(jsonlPath, func(f *os.File) error { return trace.WriteJSONL(f, spans) })
+	write(chromePath, func(f *os.File) error { return trace.WriteChromeTrace(f, spans) })
+	if jsonlPath != "" || chromePath != "" {
+		total, dropped := tracer.Stats()
+		log.Printf("mrdserver: exported %d spans (recorded %d, ring dropped %d)", len(spans), total, dropped)
+	}
 }
 
 func splitList(s string) []string {

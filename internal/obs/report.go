@@ -350,7 +350,7 @@ func (r *Report) WriteHTML(w io.Writer) error {
 var reportTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
 	"us":    fmtUs,
 	"bytes": fmtBytes,
-}).Parse(reportHTML))
+}).Parse(reportHTML + ganttTmplHTML))
 
 const reportHTML = `<!DOCTYPE html>
 <html lang="en">
@@ -423,8 +423,12 @@ svg .grid { stroke: #e3e6ea; }
 {{end}}
 
 </body>
-</html>
-{{define "gantt"}}
+</html>`
+
+// ganttTmplHTML is the shared SVG Gantt block: the run report's stage
+// and node timelines and the trace waterfall (tracereport.go) all
+// render through it.
+const ganttTmplHTML = `{{define "gantt"}}
 <svg width="{{.Width}}" height="{{.Height}}" viewBox="0 0 {{.Width}} {{.Height}}" role="img">
 {{range .Ticks}}<line class="grid" x1="{{.X}}" y1="0" x2="{{.X}}" y2="{{$.PlotH}}"/>
 <text x="{{.X}}" y="{{$.PlotH}}" dy="14" text-anchor="middle">{{.Label}}</text>

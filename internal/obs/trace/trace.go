@@ -1,0 +1,280 @@
+// Package trace is the service tier's distributed-tracing layer: a
+// low-overhead span recorder with W3C-style traceparent propagation,
+// built on the same discipline as obs.Emit — a disabled (nil) Tracer
+// costs one compare and zero allocations on the hot path, so every
+// emission site is unconditional.
+//
+// Spans are value types: Start returns an ActiveSpan on the caller's
+// stack, End copies the finished Span into the tracer's fixed-capacity
+// ring buffer under a short mutex. The ring overwrites oldest-first and
+// never blocks, so a tracer left running forever holds the most recent
+// window of spans at a bounded memory cost. Exports (spans.jsonl,
+// Chrome trace_event) snapshot the ring; the HTML waterfall in
+// internal/obs renders the same snapshot offline.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header is the propagation header name (W3C Trace Context).
+const Header = "traceparent"
+
+// DefaultCapacity is the ring size NewTracer(0) allocates: enough for
+// the last few thousand requests' spans without unbounded growth.
+const DefaultCapacity = 4096
+
+// TraceID is a 128-bit trace identifier, rendered as 32 hex digits.
+type TraceID struct{ Hi, Lo uint64 }
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// String renders the W3C 32-hex-digit form.
+func (t TraceID) String() string { return fmt.Sprintf("%016x%016x", t.Hi, t.Lo) }
+
+// SpanID is a 64-bit span identifier, rendered as 16 hex digits.
+type SpanID uint64
+
+// String renders the W3C 16-hex-digit form.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// SpanContext is a position in a trace: the trace plus the span that
+// new children should name as their parent. The zero value means "no
+// context" — Start treats it as the root of a fresh trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// IsZero reports whether the context carries no trace.
+func (c SpanContext) IsZero() bool { return c.Trace.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00, sampled flag set).
+func (c SpanContext) Traceparent() string {
+	return fmt.Sprintf("00-%016x%016x-%016x-01", c.Trace.Hi, c.Trace.Lo, uint64(c.Span))
+}
+
+// Parse parses a traceparent header value. It accepts exactly the
+// version-00 grammar this package emits: 00-<32 hex>-<16 hex>-<2 hex>.
+// Anything else — including an all-zero trace or span ID, which the
+// W3C spec declares invalid — returns ok=false and a zero context, so
+// a garbled upstream header degrades to "start a fresh trace".
+func Parse(h string) (sc SpanContext, ok bool) {
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	hi, ok1 := parseHex64(h[3:19])
+	lo, ok2 := parseHex64(h[19:35])
+	sp, ok3 := parseHex64(h[36:52])
+	if _, ok4 := parseHex64("00" + h[53:55]); !ok1 || !ok2 || !ok3 || !ok4 {
+		return SpanContext{}, false
+	}
+	sc = SpanContext{Trace: TraceID{Hi: hi, Lo: lo}, Span: SpanID(sp)}
+	if sc.Trace.IsZero() || sc.Span == 0 {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// parseHex64 decodes exactly 16 lowercase-or-uppercase hex digits
+// without allocating.
+func parseHex64(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// Span is one completed operation: where it sits in its trace, what it
+// was, when it ran and for how long, plus one free-form annotation
+// (the advisory tier stores the decision Fingerprint here, which makes
+// a trace export double as a decision audit log).
+type Span struct {
+	Trace   TraceID
+	ID      SpanID
+	Parent  SpanID // zero for root spans
+	Name    string
+	StartNs int64 // wall clock, unix nanoseconds
+	DurNs   int64
+	Attr    string
+}
+
+// Tracer records finished spans into a fixed-capacity ring. A nil
+// *Tracer is the disabled tracer: Start and End are no-ops that never
+// allocate, matching the obs.Emit discipline.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	w       int // overwrite cursor once the ring is full
+	total   uint64
+	dropped uint64
+
+	ids   atomic.Uint64 // splitmix64 state for trace/span IDs
+	nowNs func() int64
+}
+
+// NewTracer builds an enabled tracer whose ring holds capacity spans
+// (DefaultCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{
+		ring:  make([]Span, 0, capacity),
+		nowNs: func() int64 { return time.Now().UnixNano() },
+	}
+	t.ids.Store(uint64(time.Now().UnixNano()) | 1)
+	return t
+}
+
+// SetClock overrides the wall clock (tests want deterministic spans).
+func (t *Tracer) SetClock(nowNs func() int64) { t.nowNs = nowNs }
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// nextID steps the splitmix64 stream; IDs are unique per tracer and
+// never zero (zero is the invalid ID).
+func (t *Tracer) nextID() uint64 {
+	for {
+		z := t.ids.Add(0x9e3779b97f4a7c15)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		if z ^= z >> 31; z != 0 {
+			return z
+		}
+	}
+}
+
+// Start begins a span under parent. A zero parent starts a new trace;
+// a non-zero one (e.g. parsed from an incoming traceparent header)
+// continues it. On a nil tracer Start returns the inert zero
+// ActiveSpan and performs no work at all.
+func (t *Tracer) Start(parent SpanContext, name string) ActiveSpan {
+	if t == nil {
+		return ActiveSpan{}
+	}
+	sc := SpanContext{Trace: parent.Trace, Span: SpanID(t.nextID())}
+	if sc.Trace.IsZero() {
+		sc.Trace = TraceID{Hi: t.nextID(), Lo: t.nextID()}
+	}
+	return ActiveSpan{t: t, sc: sc, parent: parent.Span, name: name, startNs: t.nowNs()}
+}
+
+// finish copies the span into the ring, overwriting the oldest entry
+// when full. The lock covers one copy and two integer updates, so the
+// hot path never blocks behind an exporter (Spans copies out under the
+// same short lock).
+func (t *Tracer) finish(sp Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.w] = sp
+		t.w++
+		if t.w == len(t.ring) {
+			t.w = 0
+		}
+		t.dropped++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans oldest-first (a copy; safe to hold).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.w:]...)
+	out = append(out, t.ring[:t.w]...)
+	return out
+}
+
+// Stats reports lifetime counters: spans recorded and spans the ring
+// has overwritten (dropped oldest-first).
+func (t *Tracer) Stats() (total, dropped uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, t.dropped
+}
+
+// ActiveSpan is a started, not-yet-finished span. It is a plain value:
+// passing it around or finishing it allocates nothing. The zero value
+// (from a disabled tracer) is inert.
+type ActiveSpan struct {
+	t       *Tracer
+	sc      SpanContext
+	parent  SpanID
+	name    string
+	startNs int64
+}
+
+// Context returns the span's position in its trace (zero when inert) —
+// what children pass as their parent and what goes on the wire.
+func (s ActiveSpan) Context() SpanContext { return s.sc }
+
+// Recording reports whether finishing this span will record anything.
+func (s ActiveSpan) Recording() bool { return s.t != nil }
+
+// End finishes the span with no annotation.
+func (s ActiveSpan) End() { s.EndWith("") }
+
+// EndWith finishes the span, stamping its duration and annotation and
+// committing it to the tracer's ring. No-op on the inert span.
+func (s ActiveSpan) EndWith(attr string) {
+	if s.t == nil {
+		return
+	}
+	s.t.finish(Span{
+		Trace:   s.sc.Trace,
+		ID:      s.sc.Span,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNs: s.startNs,
+		DurNs:   s.t.nowNs() - s.startNs,
+		Attr:    attr,
+	})
+}
+
+// ctxKey keys the SpanContext stored in a request context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc. Only call on the enabled path:
+// context.WithValue allocates, which is exactly what the disabled
+// tracer must not do.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the SpanContext stored by ContextWith, or the
+// zero context. It does not allocate.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

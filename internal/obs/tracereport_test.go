@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mrdspark/internal/obs/trace"
+)
+
+// buildSpans records a two-trace export with deterministic times: a
+// slow request (root → proxy → compute) and a fast single-span one.
+func buildSpans(t *testing.T) []trace.Span {
+	t.Helper()
+	tr := trace.NewTracer(64)
+	var now int64
+	tr.SetClock(func() int64 { now += 250_000; return now })
+
+	root := tr.Start(trace.SpanContext{}, "router-proxy")
+	proxy := tr.Start(root.Context(), "shard-handler")
+	tr.Start(proxy.Context(), "advisor-compute").EndWith("fp=9f3a stage=4")
+	proxy.End()
+	root.End()
+
+	tr.Start(trace.SpanContext{}, "fast-request").End()
+	return tr.Spans()
+}
+
+// TestWaterfallGroupsAndOrders: traces are separated, the slower trace
+// leads, and span rows within a trace come out parent-before-child.
+func TestWaterfallGroupsAndOrders(t *testing.T) {
+	groups := groupTraces(buildSpans(t))
+	if len(groups) != 2 {
+		t.Fatalf("grouped into %d traces, want 2", len(groups))
+	}
+	if groups[0].durNs() < groups[1].durNs() {
+		t.Errorf("traces not sorted slowest-first: %d then %d", groups[0].durNs(), groups[1].durNs())
+	}
+	slow := groups[0]
+	if len(slow.Spans) != 3 {
+		t.Fatalf("slow trace has %d spans, want 3", len(slow.Spans))
+	}
+	for i, want := range []string{"router-proxy", "shard-handler", "advisor-compute"} {
+		if slow.Spans[i].Name != want {
+			t.Errorf("row %d = %q, want %q (depth-first parent-before-child)", i, slow.Spans[i].Name, want)
+		}
+	}
+}
+
+// TestOrderTreeOrphans: a span whose parent is missing from the export
+// (e.g. the router's file wasn't concatenated in) still renders, as a
+// root.
+func TestOrderTreeOrphans(t *testing.T) {
+	spans := []trace.Span{
+		{Trace: trace.TraceID{Lo: 1}, ID: 5, Parent: 99, Name: "orphan", StartNs: 10, DurNs: 5},
+		{Trace: trace.TraceID{Lo: 1}, ID: 6, Name: "root", StartNs: 1, DurNs: 20},
+		{Trace: trace.TraceID{Lo: 1}, ID: 7, Parent: 6, Name: "child", StartNs: 2, DurNs: 3},
+	}
+	ordered := orderTree(spans)
+	if len(ordered) != 3 {
+		t.Fatalf("orderTree dropped spans: %d of 3", len(ordered))
+	}
+	if ordered[0].Name != "root" || ordered[1].Name != "child" || ordered[2].Name != "orphan" {
+		t.Errorf("order = %q, %q, %q; want root, child, orphan",
+			ordered[0].Name, ordered[1].Name, ordered[2].Name)
+	}
+}
+
+// TestWriteTraceWaterfall renders the HTML and checks the pieces that
+// matter: both traces present, every span named, fingerprint annotation
+// in a tooltip, shared gantt SVG markup present.
+func TestWriteTraceWaterfall(t *testing.T) {
+	spans := buildSpans(t)
+	var buf bytes.Buffer
+	if err := WriteTraceWaterfall(&buf, spans, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mrdspark trace waterfall — unit",
+		"4 spans across 2 traces",
+		"router-proxy", "shard-handler", "advisor-compute", "fast-request",
+		"fp=9f3a stage=4",
+		"<svg", "<rect", "<title>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall HTML missing %q", want)
+		}
+	}
+	for _, sp := range spans {
+		if !strings.Contains(out, sp.Trace.String()) {
+			t.Errorf("waterfall HTML missing trace ID %s", sp.Trace)
+		}
+	}
+}
+
+// TestWriteTraceWaterfallEmpty: an empty export still renders a valid
+// document (mrdreport on a fresh server).
+func TestWriteTraceWaterfallEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceWaterfall(&buf, nil, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 spans across 0 traces") {
+		t.Error("empty waterfall lacks the zero-span summary line")
+	}
+}

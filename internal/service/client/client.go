@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"mrdspark/internal/fault"
+	"mrdspark/internal/obs/trace"
 	"mrdspark/internal/service"
 )
 
@@ -41,6 +42,34 @@ type Config struct {
 	// JitterSeed seeds the backoff jitter; 0 derives one from the
 	// clock. Fixed seeds make retry timing reproducible in tests.
 	JitterSeed uint64
+	// Tracer records a client-call span per HTTP attempt and injects
+	// the traceparent header; nil disables tracing. Even with a nil
+	// Tracer, a span context already on the call's context (e.g. from a
+	// traced caller) is still propagated on the wire.
+	Tracer *trace.Tracer
+	// OnHops, when set, receives the per-hop latency breakdown of every
+	// successful call, parsed from the X-Mrd-* response headers each
+	// tier stamps.
+	OnHops func(Hops)
+}
+
+// Hops is one successful call's per-hop latency breakdown. Hop fields
+// are -1 when that tier didn't report (e.g. ShardUs without a router in
+// the path is the whole server time; RouterUs is -1).
+type Hops struct {
+	// Path is the request path the breakdown belongs to.
+	Path string
+	// Total is this attempt's full round-trip as the client saw it.
+	Total time.Duration
+	// RouterUs is the routing tier's proxy time (retries included).
+	RouterUs int64
+	// ShardUs is the shard's total handler time (queue wait included).
+	ShardUs int64
+	// ComputeUs is the advisor policy-compute time inside the shard.
+	ComputeUs int64
+	// TraceID is the trace the response belongs to ("" when the service
+	// ran untraced).
+	TraceID string
 }
 
 // DefaultMaxRetryWait bounds one call's cumulative retry wall-time.
@@ -58,6 +87,8 @@ type Client struct {
 	retry   *fault.Schedule
 	maxWait time.Duration
 	jitter  atomic.Uint64 // splitmix64 state
+	tracer  *trace.Tracer
+	onHops  func(Hops)
 }
 
 // New builds a client.
@@ -74,7 +105,10 @@ func New(cfg Config) *Client {
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
 	}
-	c := &Client{base: strings.TrimRight(cfg.BaseURL, "/"), hc: hc, retry: cfg.Retry, maxWait: maxWait}
+	c := &Client{
+		base: strings.TrimRight(cfg.BaseURL, "/"), hc: hc, retry: cfg.Retry,
+		maxWait: maxWait, tracer: cfg.Tracer, onHops: cfg.OnHops,
+	}
 	c.jitter.Store(seed)
 	return c
 }
@@ -209,12 +243,30 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// One client-call span per attempt (retries each get their own).
+	// With tracing off, a span context already on ctx still propagates,
+	// so an untraced client inside a traced caller keeps the chain.
+	parent := trace.FromContext(ctx)
+	sp := c.tracer.Start(parent, "client-call")
+	hdr := parent
+	if sp.Recording() {
+		hdr = sp.Context()
+	}
+	if !hdr.IsZero() {
+		req.Header.Set(trace.Header, hdr.Traceparent())
+	}
+	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		sp.EndWith("transport-error " + path)
 		return ctx.Err() == nil, 0, err
 	}
 	defer resp.Body.Close()
+	sp.EndWith(fmt.Sprintf("%s %s status=%d", method, path, resp.StatusCode))
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if c.onHops != nil {
+			c.onHops(parseHops(path, time.Since(start), resp.Header))
+		}
 		if out == nil {
 			io.Copy(io.Discard, resp.Body)
 			return false, 0, nil
@@ -229,6 +281,36 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		apiErr.Msg = wire.Error
 	}
 	return resp.StatusCode == http.StatusServiceUnavailable, parseRetryAfter(resp.Header.Get("Retry-After")), apiErr
+}
+
+// parseHops reads the per-hop latency headers each tier stamped onto
+// the response into one breakdown record.
+func parseHops(path string, total time.Duration, h http.Header) Hops {
+	hops := Hops{
+		Path:      path,
+		Total:     total,
+		RouterUs:  hopUs(h, service.HeaderRouterUs),
+		ShardUs:   hopUs(h, service.HeaderShardUs),
+		ComputeUs: hopUs(h, service.HeaderComputeUs),
+	}
+	if sc, ok := trace.Parse(h.Get(trace.Header)); ok {
+		hops.TraceID = sc.Trace.String()
+	}
+	return hops
+}
+
+// hopUs parses one microsecond hop header; -1 means the tier didn't
+// report.
+func hopUs(h http.Header, key string) int64 {
+	v := h.Get(key)
+	if v == "" {
+		return -1
+	}
+	us, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || us < 0 {
+		return -1
+	}
+	return us
 }
 
 // parseRetryAfter reads a Retry-After header leniently: RFC 9110

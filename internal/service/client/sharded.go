@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mrdspark/internal/fault"
+	"mrdspark/internal/obs/trace"
 	"mrdspark/internal/service"
 )
 
@@ -39,6 +40,12 @@ type ShardedConfig struct {
 	// Failovers bounds how many distinct shards one operation may try;
 	// 0 means len(Shards).
 	Failovers int
+	// Tracer records client-call and re-route spans across every
+	// per-shard client; nil disables tracing.
+	Tracer *trace.Tracer
+	// OnHops receives every successful call's per-hop breakdown (see
+	// Config.OnHops).
+	OnHops func(Hops)
 }
 
 // opKind tags one recorded session operation.
@@ -76,6 +83,7 @@ type Sharded struct {
 	statsMu   sync.Mutex
 	failovers int64
 	reroutes  []time.Duration
+	events    []RerouteEvent
 }
 
 // NewSharded builds a sharded client over the shard group.
@@ -113,6 +121,8 @@ func (s *Sharded) clientFor(shard string) *Client {
 		Retry:        s.cfg.Retry,
 		MaxRetryWait: s.cfg.MaxRetryWait,
 		JitterSeed:   seed,
+		Tracer:       s.cfg.Tracer,
+		OnHops:       s.cfg.OnHops,
 	})
 	s.clients[shard] = c
 	return c
@@ -241,8 +251,17 @@ func (s *Sharded) withFailover(ctx context.Context, sessionID string, st *sessio
 			// re-create) the session, then replay the full recorded
 			// history — every op is idempotent server-side, so replaying
 			// already-applied ops is a cheap no-op.
+			sp := s.cfg.Tracer.Start(trace.FromContext(ctx), "re-route")
+			cctx := ctx
+			if sp.Recording() {
+				// The convergence replay's client-calls nest under the
+				// re-route span, so a failover reads as one block in the
+				// waterfall.
+				cctx = trace.ContextWith(ctx, sp.Context())
+			}
 			start := time.Now()
-			if err := s.converge(ctx, c, sessionID, st); err != nil {
+			if err := s.converge(cctx, c, sessionID, st); err != nil {
+				sp.EndWith("failed: " + owner)
 				lastErr = err
 				if isAPIError(err) {
 					return fmt.Errorf("client: failover convergence for %q: %w", sessionID, err)
@@ -250,7 +269,14 @@ func (s *Sharded) withFailover(ctx context.Context, sessionID string, st *sessio
 				s.shards.MarkDead(owner)
 				continue
 			}
-			s.noteFailover(time.Since(start))
+			sp.EndWith(fmt.Sprintf("session=%s successor=%s ops=%d", sessionID, owner, len(st.ops)))
+			s.noteFailover(RerouteEvent{
+				Session: sessionID,
+				Owner:   owner,
+				Ops:     len(st.ops),
+				Latency: time.Since(start),
+				Trace:   traceIDString(sp),
+			})
 		}
 		err := call(c)
 		if err == nil {
@@ -295,11 +321,31 @@ func isAPIError(err error) bool {
 	return errors.As(err, &apiErr)
 }
 
-func (s *Sharded) noteFailover(rerouteLatency time.Duration) {
+// traceIDString renders the span's trace ID, or "" for an inert span.
+func traceIDString(sp trace.ActiveSpan) string {
+	if !sp.Recording() {
+		return ""
+	}
+	return sp.Context().Trace.String()
+}
+
+func (s *Sharded) noteFailover(ev RerouteEvent) {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	s.failovers++
-	s.reroutes = append(s.reroutes, rerouteLatency)
+	s.reroutes = append(s.reroutes, ev.Latency)
+	s.events = append(s.events, ev)
+}
+
+// RerouteEvent is one successful session failover: which session moved
+// where, how much history the successor replayed, and the trace the
+// re-route span was recorded under (empty when untraced).
+type RerouteEvent struct {
+	Session string
+	Owner   string
+	Ops     int
+	Latency time.Duration
+	Trace   string
 }
 
 // Stats summarizes the sharded client's failover activity.
@@ -310,6 +356,9 @@ type Stats struct {
 	// re-route took (converging the successor, replay included).
 	RerouteP50 time.Duration
 	RerouteP99 time.Duration
+	// Reroutes lists every failover in order: session, successor, ops
+	// replayed, latency, and the re-route span's trace ID.
+	Reroutes []RerouteEvent
 	// SessionsPerShard maps each shard to the sessions it currently
 	// owns under the client's live routing view.
 	SessionsPerShard map[string]int
@@ -319,10 +368,11 @@ type Stats struct {
 func (s *Sharded) Stats() Stats {
 	s.statsMu.Lock()
 	lat := append([]time.Duration(nil), s.reroutes...)
+	events := append([]RerouteEvent(nil), s.events...)
 	n := s.failovers
 	s.statsMu.Unlock()
 
-	st := Stats{Failovers: n, SessionsPerShard: map[string]int{}}
+	st := Stats{Failovers: n, Reroutes: events, SessionsPerShard: map[string]int{}}
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		st.RerouteP50 = lat[len(lat)/2]

@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mrdspark/internal/obs/trace"
+	"mrdspark/internal/service"
+	"mrdspark/internal/workload"
+)
+
+// TestShardedFailoverRerouteSpan kills a session's owning shard
+// mid-schedule and checks the failover is visible in the telemetry:
+// a re-route span with the convergence client-calls nested under it,
+// the same event in Stats().Reroutes with its trace ID, and per-hop
+// breakdowns flowing through OnHops.
+func TestShardedFailoverRerouteSpan(t *testing.T) {
+	tr := trace.NewTracer(4096)
+	urls, kill := bootShards(t, 3)
+	cfg := fastRetry()
+	cfg.Shards = urls
+	cfg.Tracer = tr
+	var mu sync.Mutex
+	var hops []Hops
+	cfg.OnHops = func(h Hops) {
+		mu.Lock()
+		hops = append(hops, h)
+		mu.Unlock()
+	}
+	s := NewSharded(cfg)
+	ctx := context.Background()
+
+	const id = "trace-chaos-1"
+	if _, err := s.CreateSession(ctx, service.CreateSessionRequest{
+		ID: id, Workload: "SCC", Advisor: shardedAdvisorConfig(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	owner := s.Shards().Owner(id)
+
+	spec, err := workload.Build("SCC", workload.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := service.Schedule(spec.Graph)
+	killAt := len(steps) / 2
+	for i, st := range steps {
+		if i == killAt {
+			kill(owner)
+		}
+		if st.Stage < 0 {
+			if _, err := s.SubmitJob(ctx, id, st.Job); err != nil {
+				t.Fatalf("step %d job %d: %v", i, st.Job, err)
+			}
+			continue
+		}
+		if _, err := s.Advance(ctx, id, st.Stage); err != nil {
+			t.Fatalf("step %d stage %d: %v", i, st.Stage, err)
+		}
+	}
+
+	stats := s.Stats()
+	if stats.Failovers < 1 || len(stats.Reroutes) != int(stats.Failovers) {
+		t.Fatalf("Failovers=%d Reroutes=%d; want one event per failover >= 1",
+			stats.Failovers, len(stats.Reroutes))
+	}
+	ev := stats.Reroutes[0]
+	if ev.Session != id || ev.Owner == owner || ev.Owner == "" {
+		t.Errorf("re-route event %+v: want session %s moved off %s", ev, id, owner)
+	}
+	if ev.Ops <= 0 || ev.Latency <= 0 {
+		t.Errorf("re-route event %+v: want positive replayed-ops count and latency", ev)
+	}
+	if ev.Trace == "" {
+		t.Fatal("re-route event carries no trace ID despite tracing being on")
+	}
+
+	// The re-route span exists under the reported trace, and the
+	// convergence's client-calls nest inside it.
+	var reroute trace.Span
+	found := false
+	for _, sp := range tr.Spans() {
+		if sp.Name == "re-route" && sp.Trace.String() == ev.Trace {
+			reroute, found = sp, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no re-route span recorded under trace %s", ev.Trace)
+	}
+	nested := 0
+	for _, sp := range tr.Spans() {
+		if sp.Name == "client-call" && sp.Parent == reroute.ID {
+			nested++
+		}
+	}
+	if nested == 0 {
+		t.Error("no convergence client-call spans nested under the re-route span")
+	}
+
+	// Per-hop breakdowns flowed for the successful calls (shard-direct,
+	// so ShardUs reports and RouterUs stays -1).
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hops) == 0 {
+		t.Fatal("OnHops never fired through the sharded client")
+	}
+	sawShard := false
+	for _, h := range hops {
+		if h.ShardUs >= 0 {
+			sawShard = true
+		}
+		if h.RouterUs != -1 {
+			t.Errorf("call %s reports router time %d with no router in the path", h.Path, h.RouterUs)
+		}
+	}
+	if !sawShard {
+		t.Error("no call reported a shard hop time")
+	}
+}

@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mrdspark/internal/obs/trace"
 )
 
 // RouterConfig wires a stateless routing front over a shard group.
@@ -23,6 +26,10 @@ type RouterConfig struct {
 	// Client performs the proxied requests; nil gets a 5 s-timeout
 	// default.
 	Client *http.Client
+	// Trace attaches the routing tier's span recorder (router-proxy
+	// root spans with proxy-attempt / re-route children). A nil Tracer
+	// still passes an incoming traceparent through to the shard.
+	Trace TraceConfig
 }
 
 // Router defaults.
@@ -51,6 +58,7 @@ type Router struct {
 	cfg    RouterConfig
 	shards *ShardMap
 	client *http.Client
+	tracer *trace.Tracer
 
 	nextID    atomic.Int64
 	idPrefix  string
@@ -75,6 +83,7 @@ func NewRouter(cfg RouterConfig) *Router {
 		cfg:       cfg,
 		shards:    NewShardMap(cfg.Shards),
 		client:    client,
+		tracer:    cfg.Trace.Tracer,
 		idPrefix:  fmt.Sprintf("r%x", time.Now().UnixNano()&0xffffff),
 		stopProbe: make(chan struct{}),
 		probeDone: make(chan struct{}),
@@ -97,6 +106,10 @@ func (r *Router) Close() {
 
 // Shards exposes the routing map (tests, status).
 func (r *Router) Shards() *ShardMap { return r.shards }
+
+// Tracer exposes the routing tier's span recorder (nil when tracing is
+// disabled), for drain-time exports and the debug listener.
+func (r *Router) Tracer() *trace.Tracer { return r.tracer }
 
 // RouterStatus is the router's own GET /healthz payload.
 type RouterStatus struct {
@@ -180,8 +193,14 @@ func (r *Router) routingKey(w http.ResponseWriter, req *http.Request, body []byt
 }
 
 // forward proxies the request to the key's owner, marking shards dead
-// and re-routing on transport failure.
+// and re-routing on transport failure. The whole forward is one
+// router-proxy span; each shard attempt is a child — named re-route
+// after a failure — so a SIGKILL failover shows up in the waterfall as
+// a dead proxy-attempt followed by a re-route to the successor.
 func (r *Router) forward(w http.ResponseWriter, req *http.Request, key string, body []byte) {
+	parent, _ := trace.Parse(req.Header.Get(trace.Header))
+	root := r.tracer.Start(parent, "router-proxy")
+	start := time.Now()
 	tried := map[string]bool{}
 	for attempt := 0; attempt < routerRetries; attempt++ {
 		owner := r.shards.Owner(key)
@@ -191,24 +210,41 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, key string, b
 		tried[owner] = true
 		out, err := http.NewRequestWithContext(req.Context(), req.Method, owner+req.URL.RequestURI(), bytes.NewReader(body))
 		if err != nil {
+			root.EndWith("error: " + err.Error())
 			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 			return
 		}
+		name := "proxy-attempt"
+		if attempt > 0 {
+			name = "re-route"
+		}
+		asp := r.tracer.Start(root.Context(), name)
 		out.Header = req.Header.Clone()
+		if asp.Recording() {
+			// The attempt span becomes the shard handler's parent, so
+			// nesting reads router-proxy → attempt → shard-handler. With
+			// tracing off the incoming traceparent passes through as-is.
+			out.Header.Set(trace.Header, asp.Context().Traceparent())
+		}
 		out.ContentLength = int64(len(body))
 		resp, err := r.client.Do(out)
 		if err != nil {
 			// Transport failure: the shard is unreachable. Route its
 			// keys to survivors and retry there; the shared snapshot
 			// store lets the successor restore the session on demand.
+			asp.EndWith("dead: " + owner)
 			r.shards.MarkDead(owner)
 			r.reroutes.Add(1)
 			continue
 		}
+		asp.EndWith("shard=" + owner)
 		r.proxied.Add(1)
+		w.Header().Set(HeaderRouterUs, strconv.FormatInt(time.Since(start).Microseconds(), 10))
 		copyResponse(w, resp)
+		root.EndWith(fmt.Sprintf("shard=%s attempts=%d status=%d", owner, attempt+1, resp.StatusCode))
 		return
 	}
+	root.EndWith("no-reachable-shard key=" + key)
 	writeJSON(w, http.StatusBadGateway, apiError{Error: "no reachable shard for " + key})
 }
 

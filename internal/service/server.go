@@ -2,16 +2,19 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mrdspark/internal/obs"
+	"mrdspark/internal/obs/trace"
 	"mrdspark/internal/workload"
 )
 
@@ -29,11 +32,17 @@ type ServerConfig struct {
 	// SweepEvery is the idle-session janitor period; 0 means
 	// DefaultSweepEvery.
 	SweepEvery time.Duration
+	// QueueGrace, when positive, lets a request at capacity wait up to
+	// this long for an inflight slot (recorded as a queue-wait span)
+	// before being shed. 0 preserves the immediate-shed behavior.
+	QueueGrace time.Duration
 	// Snapshots configures session persistence; a nil Store disables
 	// both snapshotting and restore-on-demand.
 	Snapshots SnapshotPolicy
 	// Peers wires the server into a shard group for liveness gossip.
 	Peers PeerConfig
+	// Trace attaches the span recorder and slow-request logging.
+	Trace TraceConfig
 }
 
 // SnapshotPolicy is the server's session-persistence cadence.
@@ -86,6 +95,11 @@ type Server struct {
 	stopJan  chan struct{}
 	janDone  chan struct{}
 
+	// HTTP-tier telemetry: the span recorder (nil when tracing is off)
+	// and the per-route latency/shed/slow aggregates behind /metrics.
+	tracer *trace.Tracer
+	http   *httpStats
+
 	// Snapshot persistence and failover adoption.
 	snapStore    SnapshotStore
 	restoreMu    sync.Mutex // serializes restore-on-demand per server
@@ -117,6 +131,8 @@ func NewServer(cfg ServerConfig) *Server {
 		inflight:  make(chan struct{}, cfg.MaxInflight),
 		stopJan:   make(chan struct{}),
 		janDone:   make(chan struct{}),
+		tracer:    cfg.Trace.Tracer,
+		http:      newHTTPStats(),
 		snapStore: cfg.Snapshots.Store,
 		peers:     newPeerTable(cfg.Peers),
 		hbClient:  &http.Client{Timeout: time.Second},
@@ -145,6 +161,10 @@ func (s *Server) Close() {
 
 // Registry exposes the session table (tests, health).
 func (s *Server) Registry() *Registry { return s.registry }
+
+// Tracer exposes the span recorder (nil when tracing is disabled), for
+// drain-time exports and the debug listener.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 func (s *Server) janitor() {
 	defer close(s.janDone)
@@ -250,35 +270,102 @@ type apiError struct {
 // middleware (bounded concurrency, request timeout) applied.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
-	mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.handleSubmitJob)
-	mux.HandleFunc("POST /v1/sessions/{id}/stage", s.handleAdvance)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/peers/heartbeat", s.handleHeartbeat)
-	mux.HandleFunc("GET /v1/peers", s.handlePeers)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.route("status", s.handleGetSession))
+	mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.route("submit_job", s.handleSubmitJob))
+	mux.HandleFunc("POST /v1/sessions/{id}/stage", s.route("advance", s.handleAdvance))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
+	mux.HandleFunc("POST /v1/peers/heartbeat", s.route("heartbeat", s.handleHeartbeat))
+	mux.HandleFunc("GET /v1/peers", s.route("peers", s.handlePeers))
+	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	var h http.Handler = mux
 	h = s.limitInflight(h)
 	h = http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")
 	return h
 }
 
-// limitInflight is the bounded-concurrency middleware: requests beyond
-// the cap are shed immediately with 503 so a traffic spike degrades to
-// client-side retries instead of queue collapse.
+// route tags the request with its matched route name (the histogram
+// and slow-log label); the inflight middleware reads it back after
+// serving. Requests that never match a route — mux 404/405 — keep the
+// "other" label the middleware defaults to.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		setRoute(w, name)
+		h(w, r)
+	}
+}
+
+// limitInflight is the bounded-concurrency middleware and the shard's
+// telemetry root: it opens the request's shard-handler span (continuing
+// an incoming traceparent), echoes the span context on the response,
+// and attributes the finished request to its route's latency histogram.
+// Requests beyond the cap are shed with 503 — immediately by default,
+// or after waiting up to QueueGrace for a slot (recorded as a
+// queue-wait span) — so a traffic spike degrades to client-side
+// retries instead of queue collapse.
 func (s *Server) limitInflight(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		// The root span starts before slot acquisition so queue wait is
+		// inside it; a disabled tracer makes Start a nil compare.
+		parent, _ := trace.Parse(r.Header.Get(trace.Header))
+		root := s.tracer.Start(parent, "shard-handler")
+
+		acquired := false
 		select {
 		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-			next.ServeHTTP(w, r)
+			acquired = true
 		default:
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server at capacity"})
+			if s.cfg.QueueGrace > 0 {
+				qs := s.tracer.Start(root.Context(), "queue-wait")
+				timer := time.NewTimer(s.cfg.QueueGrace)
+				start := time.Now()
+				select {
+				case s.inflight <- struct{}{}:
+					acquired = true
+					qs.EndWith(fmt.Sprintf("waited=%dus", time.Since(start).Microseconds()))
+				case <-timer.C:
+					qs.EndWith("gave-up")
+				}
+				timer.Stop()
+				s.http.add(&s.http.queueWaits, 1)
+			}
 		}
+		if !acquired {
+			s.http.add(&s.http.shed, 1)
+			root.EndWith("shed")
+			w.Header().Set("Retry-After", "1")
+			if root.Recording() {
+				w.Header().Set(trace.Header, root.Context().Traceparent())
+			}
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server at capacity"})
+			return
+		}
+		defer func() { <-s.inflight }()
+
+		s.http.add(&s.http.inflight, 1)
+		defer s.http.add(&s.http.inflight, -1)
+
+		sw := &statusWriter{ResponseWriter: w, start: time.Now()}
+		if root.Recording() {
+			sw.trace = root.Context()
+			r = r.WithContext(trace.ContextWith(r.Context(), root.Context()))
+		}
+		next.ServeHTTP(sw, r)
+
+		dur := time.Since(sw.start)
+		route := sw.route
+		if route == "" {
+			route = "other"
+		}
+		s.http.observe(route, dur)
+		if slow := s.cfg.Trace.SlowRequest; slow > 0 && dur >= slow {
+			s.http.add(&s.http.slow, 1)
+			s.cfg.Trace.logf("slow request: %s %s route=%s status=%d dur=%s trace=%s",
+				r.Method, r.URL.Path, route, sw.status, dur, root.Context().Trace)
+		}
+		root.EndWith(fmt.Sprintf("route=%s status=%d", route, sw.status))
 	})
 }
 
@@ -300,7 +387,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, s.describeSession(sess))
 			return
 		}
-		if sess, err := s.restoreSession(req.ID); err == nil {
+		if sess, err := s.restoreSession(r.Context(), req.ID); err == nil {
 			writeJSON(w, http.StatusOK, s.describeSession(sess))
 			return
 		} else if !errors.Is(err, ErrNoSnapshot) {
@@ -382,6 +469,8 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp SubmitJobResponse
+	sp := s.tracer.Start(trace.FromContext(r.Context()), "advisor-compute")
+	computeStart := time.Now()
 	err := sess.WithAdvisor(func(a *Advisor) error {
 		// Idempotent replay: a job the session has already consumed is
 		// acknowledged again rather than conflicting, so post-failover
@@ -397,10 +486,13 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		s.noteMutation(sess, a)
 		return nil
 	})
+	w.Header().Set(HeaderComputeUs, strconv.FormatInt(time.Since(computeStart).Microseconds(), 10))
 	if err != nil {
+		sp.EndWith("error: " + err.Error())
 		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
 		return
 	}
+	sp.EndWith(fmt.Sprintf("job=%d replayed=%t", resp.Job, resp.Replayed))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -414,6 +506,11 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var advice Advice
+	// The policy-compute span is the one the waterfall reads the
+	// decision off: its annotation is the advice Fingerprint, the same
+	// canonical string the parity oracle compares.
+	sp := s.tracer.Start(trace.FromContext(r.Context()), "advisor-compute")
+	computeStart := time.Now()
 	err := sess.WithAdvisor(func(a *Advisor) error {
 		// Idempotent replay: an already-advanced stage is served its
 		// recorded advice — byte-identical to the original response —
@@ -432,10 +529,13 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		}
 		return err
 	})
+	w.Header().Set(HeaderComputeUs, strconv.FormatInt(time.Since(computeStart).Microseconds(), 10))
 	if err != nil {
+		sp.EndWith("error: " + err.Error())
 		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
 		return
 	}
+	sp.EndWith(advice.Fingerprint())
 	writeJSON(w, http.StatusOK, advice)
 }
 
@@ -515,6 +615,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	fmt.Fprintf(w, "# HELP mrdserver_peers_alive Peer shards currently within their liveness deadline.\n# TYPE mrdserver_peers_alive gauge\nmrdserver_peers_alive %d\n", alive)
+	bw := &promWriter{w: w}
+	s.http.writePrometheus(bw)
+	total, dropped := s.tracer.Stats()
+	fmt.Fprintf(w, "# HELP mrdserver_trace_spans_total Spans recorded by the tracer.\n# TYPE mrdserver_trace_spans_total counter\nmrdserver_trace_spans_total %d\n", total)
+	fmt.Fprintf(w, "# HELP mrdserver_trace_spans_dropped_total Spans the trace ring overwrote (oldest-first).\n# TYPE mrdserver_trace_spans_dropped_total counter\nmrdserver_trace_spans_dropped_total %d\n", dropped)
 }
 
 // session resolves the {id} path segment, restoring the session from
@@ -527,7 +632,7 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool
 	if ok {
 		return sess, true
 	}
-	sess, err := s.restoreSession(id)
+	sess, err := s.restoreSession(r.Context(), id)
 	if err == nil {
 		return sess, true
 	}
@@ -545,33 +650,43 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool
 // it behind the same per-session lock discipline. Concurrent requests
 // for the same orphaned session are serialized; the losers find the
 // session already registered.
-func (s *Server) restoreSession(id string) (*Session, error) {
+func (s *Server) restoreSession(ctx context.Context, id string) (*Session, error) {
 	if s.snapStore == nil {
 		return nil, ErrNoSnapshot
 	}
+	sp := s.tracer.Start(trace.FromContext(ctx), "snapshot-restore")
 	s.restoreMu.Lock()
 	defer s.restoreMu.Unlock()
 	if sess, ok := s.registry.Get(id); ok {
+		sp.EndWith("already-restored")
 		return sess, nil // lost the race to a concurrent restore
 	}
 	snap, err := s.snapStore.Load(id)
 	if err != nil {
+		sp.EndWith("no-snapshot")
 		return nil, err
 	}
 	bus := obs.New()
 	bus.SetClock(func() int64 { return time.Since(s.started).Microseconds() })
 	detach := s.agg.Attach(bus)
+	// The replay span times the expensive part: rebuilding the advisor
+	// by re-running the snapshot's op log.
+	rsp := s.tracer.Start(sp.Context(), "replay")
 	adv, err := RestoreAdvisor(snap, nil, bus)
+	rsp.EndWith(fmt.Sprintf("ops=%d", len(snap.Ops)))
 	if err != nil {
 		detach()
+		sp.EndWith("replay-error: " + err.Error())
 		return nil, err
 	}
 	sess, err := s.registry.CreateWithID(id, snap.Workload, adv, detach, true)
 	if err != nil {
 		detach()
+		sp.EndWith("register-error: " + err.Error())
 		return nil, err
 	}
 	s.restored.Add(1)
+	sp.EndWith("session=" + id)
 	return sess, nil
 }
 
