@@ -54,6 +54,10 @@ var baselineBenchmarks = []struct {
 	{"BenchmarkSimulateSCCObserved", BenchmarkSimulateSCCObserved},
 	{"BenchmarkObsEmitDisabled", BenchmarkObsEmitDisabled},
 	{"BenchmarkServiceSession", BenchmarkServiceSession},
+	{"BenchmarkServiceSessionWire", BenchmarkServiceSessionWire},
+	{"BenchmarkServiceAdviceJSON", BenchmarkServiceAdviceJSON},
+	{"BenchmarkServiceAdviceWire", BenchmarkServiceAdviceWire},
+	{"BenchmarkServiceAdviceWireBatch", BenchmarkServiceAdviceWireBatch},
 	{"BenchmarkServiceStatusUntraced", BenchmarkServiceStatusUntraced},
 	{"BenchmarkServiceStatusTraced", BenchmarkServiceStatusTraced},
 	{"BenchmarkTraceSpanDisabled", BenchmarkTraceSpanDisabled},

@@ -7,8 +7,10 @@ package mrdspark
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -17,6 +19,7 @@ import (
 	"mrdspark/internal/experiments"
 	"mrdspark/internal/obs/trace"
 	"mrdspark/internal/service"
+	"mrdspark/internal/service/client"
 	"mrdspark/internal/workload"
 )
 
@@ -73,6 +76,167 @@ func BenchmarkServiceSession(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(advances)/b.Elapsed().Seconds(), "advice/s")
+}
+
+// benchWireServer boots a server on real TCP loopback for both
+// transports and returns JSON and binary clients against it. Both
+// clients cross a real socket, so the delta between them is protocol
+// cost, not a loopback-vs-in-process artifact.
+func benchWireServer(b *testing.B) (*client.Client, *client.Client) {
+	b.Helper()
+	srv := service.NewServer(service.ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.ServeFrames(ln)
+	b.Cleanup(func() {
+		ln.Close()
+		ts.Close()
+		srv.Close()
+	})
+	jsonC := client.New(client.Config{BaseURL: ts.URL})
+	binC := client.New(client.Config{BaseURL: ts.URL, Binary: true, FrameAddr: ln.Addr().String()})
+	b.Cleanup(binC.Close)
+	return jsonC, binC
+}
+
+// benchReplaySession creates a session and advances one stage once, so
+// every subsequent advance of that stage is served from the replay log:
+// the policy compute rounds to zero and what remains is transport —
+// encode, socket, dispatch, decode. That is the honest protocol
+// comparison; a full session is compute-bound (~64% policy work per
+// advance) and caps any transport at ~4x. See DESIGN.md §14.
+func benchReplaySession(b *testing.B, c *client.Client, id string) int {
+	b.Helper()
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, service.CreateSessionRequest{
+		ID: id, Workload: "SCC", Advisor: benchAdvisorConfig(),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.SubmitJob(ctx, id, 0); err != nil {
+		b.Fatal(err)
+	}
+	spec, err := workload.Build("SCC", workload.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stage := spec.Graph.Jobs[0].NewStages[0].ID
+	if _, err := c.Advance(ctx, id, stage); err != nil {
+		b.Fatal(err)
+	}
+	return stage
+}
+
+// BenchmarkServiceSessionWire is BenchmarkServiceSession's counterpart
+// over the frame protocol: a full SCC session — create, submit, advise
+// every stage boundary, delete — per iteration, across a real TCP
+// connection.
+func BenchmarkServiceSessionWire(b *testing.B) {
+	_, binC := benchWireServer(b)
+	ctx := context.Background()
+	spec, err := workload.Build("SCC", workload.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	steps := service.Schedule(spec.Graph)
+	advances := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-wire-%d", i)
+		if _, err := binC.CreateSession(ctx, service.CreateSessionRequest{
+			ID: id, Workload: "SCC", Advisor: benchAdvisorConfig(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range steps {
+			if st.Stage < 0 {
+				if _, err := binC.SubmitJob(ctx, id, st.Job); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if _, err := binC.Advance(ctx, id, st.Stage); err != nil {
+				b.Fatal(err)
+			}
+			advances++
+		}
+		if err := binC.DeleteSession(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(advances)/b.Elapsed().Seconds(), "advice/s")
+}
+
+// BenchmarkServiceAdviceJSON is the per-advice cost of the JSON
+// transport on the replayed-advance path (compute ≈ 0).
+func BenchmarkServiceAdviceJSON(b *testing.B) {
+	jsonC, _ := benchWireServer(b)
+	stage := benchReplaySession(b, jsonC, "bench-adv-json")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jsonC.Advance(ctx, "bench-adv-json", stage); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "advice/s")
+}
+
+// BenchmarkServiceAdviceWire is the same replayed advance over one
+// frame round trip per advice.
+func BenchmarkServiceAdviceWire(b *testing.B) {
+	_, binC := benchWireServer(b)
+	stage := benchReplaySession(b, binC, "bench-adv-wire")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := binC.Advance(ctx, "bench-adv-wire", stage); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "advice/s")
+}
+
+// BenchmarkServiceAdviceWireBatch amortizes the round trip: 512
+// replayed advances per OpBatch call, advice frames streamed back.
+// One op is one advice, so advice/s (and ns/op) compare directly with
+// the per-call benchmarks above.
+func BenchmarkServiceAdviceWireBatch(b *testing.B) {
+	_, binC := benchWireServer(b)
+	stage := benchReplaySession(b, binC, "bench-adv-batch")
+	ctx := context.Background()
+	const chunk = 512
+	steps := make([]service.Step, chunk)
+	for i := range steps {
+		steps[i] = service.Step{Job: 0, Stage: stage}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := b.N - done
+		if n > chunk {
+			n = chunk
+		}
+		resp, err := binC.RunBatch(ctx, "bench-adv-batch", steps[:n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Advices) != n {
+			b.Fatalf("batch returned %d advices, want %d", len(resp.Advices), n)
+		}
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "advice/s")
 }
 
 // benchStatusServer boots a server with one live session and returns

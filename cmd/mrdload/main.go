@@ -59,6 +59,7 @@ type api interface {
 	CreateSession(ctx context.Context, req service.CreateSessionRequest) (service.CreateSessionResponse, error)
 	SubmitJob(ctx context.Context, sessionID string, job int) (service.SubmitJobResponse, error)
 	Advance(ctx context.Context, sessionID string, stage int) (service.Advice, error)
+	RunBatch(ctx context.Context, sessionID string, steps []service.Step) (service.BatchResponse, error)
 	DeleteSession(ctx context.Context, sessionID string) error
 }
 
@@ -167,6 +168,8 @@ func main() {
 	policyKind := flag.String("policy", "MRD", "cache policy kind for every session")
 	killAfter := flag.Int64("kill-after", 0, "SIGKILL -kill-pid after this many successful advances (chaos mode; 0 disables)")
 	killPid := flag.Int("kill-pid", 0, "process to SIGKILL in chaos mode")
+	bin := flag.Bool("bin", false, "drive the binary frame protocol instead of JSON (server needs -frame-addr)")
+	batch := flag.Bool("batch", false, "submit each job's steps as one batch call instead of per-step requests")
 	retryWait := flag.Duration("retry-wait", 3*time.Second, "per-call retry wall-time cap (also the shard-failover detection latency)")
 	traceCap := flag.Int("trace-capacity", 4*trace.DefaultCapacity, "client span ring capacity; 0 disables client-side tracing")
 	traceOut := flag.String("trace-out", "", "write the client span export (JSONL) here at exit")
@@ -189,24 +192,31 @@ func main() {
 	}
 	hops := &hopStats{}
 
+	transport := "json"
+	if *bin {
+		transport = "bin"
+	}
 	shardList := splitList(*shards)
 	var c api
 	var sharded *client.Sharded
 	if len(shardList) > 0 {
 		sharded = client.NewSharded(client.ShardedConfig{
 			Shards: shardList, MaxRetryWait: *retryWait,
-			Tracer: tracer, OnHops: hops.add,
+			Tracer: tracer, OnHops: hops.add, Binary: *bin,
 		})
+		defer sharded.Close()
 		c = sharded
-		fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %d shards, policy %s, parity %v\n",
-			*sessions, *group, len(names), len(shardList), *policyKind, *parity)
+		fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %d shards (%s), policy %s, parity %v\n",
+			*sessions, *group, len(names), len(shardList), transport, *policyKind, *parity)
 	} else {
-		c = client.New(client.Config{
+		cl := client.New(client.Config{
 			BaseURL: *addr, MaxRetryWait: *retryWait,
-			Tracer: tracer, OnHops: hops.add,
+			Tracer: tracer, OnHops: hops.add, Binary: *bin,
 		})
-		fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %s, policy %s, parity %v\n",
-			*sessions, *group, len(names), *addr, *policyKind, *parity)
+		defer cl.Close()
+		c = cl
+		fmt.Printf("mrdload: %d sessions x %s (%d workloads) against %s (%s), policy %s, parity %v\n",
+			*sessions, *group, len(names), *addr, transport, *policyKind, *parity)
 	}
 	chaos := &killer{after: *killAfter, pid: *killPid}
 
@@ -221,12 +231,14 @@ func main() {
 			// new data" — the paper's recurring-application model.
 			params := workload.Params{Seed: int64(i + 1)}
 			// The sharded client needs client-chosen IDs: the ID decides
-			// the owning shard before the session exists.
+			// the owning shard before the session exists. The binary
+			// transport wants them too — the hello frame's session ID is
+			// what gives the connection routing affinity.
 			id := ""
-			if sharded != nil {
+			if sharded != nil || *bin {
 				id = fmt.Sprintf("load-%d", i+1)
 			}
-			results[i] = runSession(c, id, names[i%len(names)], params, advCfg, *parity, chaos)
+			results[i] = runSession(c, id, names[i%len(names)], params, advCfg, *parity, *batch, chaos)
 		}(i)
 	}
 	wg.Wait()
@@ -314,9 +326,10 @@ func exportTraces(tracer *trace.Tracer, jsonlPath, chromePath string) {
 }
 
 // runSession creates one server session, replays the workload's
-// canonical schedule through the HTTP API, and (under -parity) compares
+// canonical schedule through the advisory API (per-step calls, or one
+// batch call per job with batch set), and (under -parity) compares
 // every advice fingerprint against the in-process oracle.
-func runSession(c api, id, name string, params workload.Params, cfg service.AdvisorConfig, parity bool, chaos *killer) sessionResult {
+func runSession(c api, id, name string, params workload.Params, cfg service.AdvisorConfig, parity, batch bool, chaos *killer) sessionResult {
 	res := sessionResult{workload: name}
 	ctx := context.Background()
 
@@ -346,6 +359,10 @@ func runSession(c api, id, name string, params workload.Params, cfg service.Advi
 		return res
 	}
 	defer c.DeleteSession(ctx, created.ID)
+
+	if batch {
+		return runBatchSession(c, created.ID, spec, oracle, res, chaos)
+	}
 
 	for _, st := range service.Schedule(spec.Graph) {
 		if st.Stage < 0 {
@@ -382,6 +399,67 @@ func runSession(c api, id, name string, params workload.Params, cfg service.Advi
 					fmt.Sprintf("%s seed=%d stage=%d\n  server: %s\n  oracle: %s", name, params.Seed, st.Stage, g, w))
 			}
 		}
+	}
+	return res
+}
+
+// runBatchSession replays the schedule one job per RunBatch call: the
+// job's submit step plus every stage it creates, with the advices
+// checked against the oracle in stream order.
+func runBatchSession(c api, id string, spec *workload.Spec, oracle *service.Advisor, res sessionResult, chaos *killer) sessionResult {
+	ctx := context.Background()
+	sched := service.Schedule(spec.Graph)
+	for start := 0; start < len(sched); {
+		end := start + 1
+		for end < len(sched) && sched[end].Stage >= 0 {
+			end++
+		}
+		steps := sched[start:end]
+		t0 := time.Now()
+		resp, err := c.RunBatch(ctx, id, steps)
+		res.latencies = append(res.latencies, time.Since(t0))
+		if err != nil {
+			res.err = fmt.Errorf("batch [%d:%d): %w", start, end, err)
+			return res
+		}
+		res.advances += len(resp.Advices)
+		for range resp.Advices {
+			chaos.tick()
+		}
+		if oracle != nil {
+			ai := 0
+			for _, st := range steps {
+				if st.Stage < 0 {
+					if err := oracle.SubmitJob(st.Job); err != nil {
+						res.err = err
+						return res
+					}
+					continue
+				}
+				want, err := oracle.Advance(st.Stage)
+				if err != nil {
+					res.err = err
+					return res
+				}
+				if ai >= len(resp.Advices) {
+					res.mismatches = append(res.mismatches,
+						fmt.Sprintf("%s seed=%d stage=%d\n  server: (missing advice)\n  oracle: %s", res.workload, spec.Params.Seed, st.Stage, want.Fingerprint()))
+					continue
+				}
+				got := resp.Advices[ai]
+				ai++
+				res.checked++
+				if g, w := got.Fingerprint(), want.Fingerprint(); g != w {
+					res.mismatches = append(res.mismatches,
+						fmt.Sprintf("%s seed=%d stage=%d\n  server: %s\n  oracle: %s", res.workload, spec.Params.Seed, st.Stage, g, w))
+				}
+			}
+			if ai != len(resp.Advices) {
+				res.mismatches = append(res.mismatches,
+					fmt.Sprintf("%s seed=%d batch [%d:%d): %d advices for %d stage steps", res.workload, spec.Params.Seed, start, end, len(resp.Advices), ai))
+			}
+		}
+		start = end
 	}
 	return res
 }

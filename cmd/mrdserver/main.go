@@ -64,6 +64,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "separate listener for pprof and live span exports (/debug/pprof/, /debug/spans.jsonl, /debug/trace.json); empty disables")
 	slowReq := flag.Duration("slow-request", 0, "log requests slower than this; 0 disables")
 	queueGrace := flag.Duration("queue-grace", 0, "at capacity, wait up to this long for an inflight slot before shedding; 0 sheds immediately")
+	frameAddr := flag.String("frame-addr", "", "listen address for the binary frame protocol (advertised on /healthz); empty disables. In router mode frames splice through to the owning shard")
 	flag.Parse()
 
 	var tracer *trace.Tracer
@@ -75,7 +76,7 @@ func main() {
 	}
 
 	if *router {
-		runRouter(*addr, splitList(*shards), *probeEvery, *drain, tracer, *traceOut, *traceChrome)
+		runRouter(*addr, *frameAddr, splitList(*shards), *probeEvery, *drain, tracer, *traceOut, *traceChrome)
 		return
 	}
 
@@ -110,6 +111,19 @@ func main() {
 	hs := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
+	var frameLn net.Listener
+	if *frameAddr != "" {
+		frameLn, err = net.Listen("tcp", *frameAddr)
+		if err != nil {
+			log.Fatalf("mrdserver: frame listener: %v", err)
+		}
+		go func() {
+			if err := srv.ServeFrames(frameLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("mrdserver: frame listener: %v", err)
+			}
+		}()
+		log.Printf("mrdserver: frame protocol on %s", frameLn.Addr())
+	}
 	log.Printf("mrdserver: listening on %s (max-sessions=%d, max-inflight=%d, snapshots=%v, peers=%d)",
 		ln.Addr(), *maxSessions, *inflight, snapStore != nil, len(peerList))
 
@@ -127,6 +141,12 @@ func main() {
 	// mrdserver_drain_snapshots_written from /metrics during the linger
 	// window to assert the drain actually persisted everything.
 	log.Printf("mrdserver: signal received, draining")
+	if frameLn != nil {
+		// Stop accepting frame connections before snapshotting, so no
+		// new mutations slip in behind the drain passes. In-flight frame
+		// requests on live connections still finish serially.
+		frameLn.Close()
+	}
 	if n := srv.DrainSnapshots(); snapStore != nil {
 		log.Printf("mrdserver: drain snapshots written: %d", n)
 	}
@@ -148,7 +168,7 @@ func main() {
 }
 
 // runRouter serves the stateless routing tier.
-func runRouter(addr string, shards []string, probeEvery, drain time.Duration, tracer *trace.Tracer, traceOut, traceChrome string) {
+func runRouter(addr, frameAddr string, shards []string, probeEvery, drain time.Duration, tracer *trace.Tracer, traceOut, traceChrome string) {
 	if len(shards) == 0 {
 		log.Fatalf("mrdserver: -router requires -shards")
 	}
@@ -161,6 +181,19 @@ func runRouter(addr string, shards []string, probeEvery, drain time.Duration, tr
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatalf("mrdserver: %v", err)
+	}
+	var frameLn net.Listener
+	if frameAddr != "" {
+		frameLn, err = net.Listen("tcp", frameAddr)
+		if err != nil {
+			log.Fatalf("mrdserver: frame listener: %v", err)
+		}
+		go func() {
+			if err := rt.ServeFrames(frameLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("mrdserver: frame listener: %v", err)
+			}
+		}()
+		log.Printf("mrdserver: router frame protocol on %s", frameLn.Addr())
 	}
 	hs := &http.Server{Handler: rt}
 	errCh := make(chan error, 1)
@@ -176,6 +209,9 @@ func runRouter(addr string, shards []string, probeEvery, drain time.Duration, tr
 	}
 
 	log.Printf("mrdserver: signal received, draining")
+	if frameLn != nil {
+		frameLn.Close()
+	}
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {

@@ -1,0 +1,309 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrdspark/internal/service"
+	"mrdspark/internal/service/client"
+	"mrdspark/internal/workload"
+)
+
+// TestOversizedBodyRejected413: the request-body cap must actually be
+// enforced (the original readJSON computed a limit and never installed
+// it) and speak the API's error shape with a 413.
+func TestOversizedBodyRejected413(t *testing.T) {
+	srv := service.NewServer(service.ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	// A syntactically valid JSON object padded past 1 MiB.
+	big := `{"workload":"SCC","pad":"` + strings.Repeat("x", 1<<20) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("413 body is not the API error shape: %v", err)
+	}
+	if !strings.Contains(apiErr.Error, "exceeds") {
+		t.Fatalf("413 error = %q, want a size-limit message", apiErr.Error)
+	}
+}
+
+// TestRouterPreservesLargeSeed: ID injection must not round-trip the
+// create body through map[string]any — float64 coercion silently
+// corrupts integers above 2^53. The stub shard records the exact bytes
+// the router forwarded.
+func TestRouterPreservesLargeSeed(t *testing.T) {
+	const bigSeed = "9007199254740993" // 2^53 + 1: not representable as float64
+
+	var mu sync.Mutex
+	var forwarded []byte
+	shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		forwarded = append([]byte(nil), body...)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintln(w, `{"id":"stub","stages":1}`)
+	}))
+	t.Cleanup(shard.Close)
+
+	rt := service.NewRouter(service.RouterConfig{Shards: []string{shard.URL}, ProbeEvery: -1})
+	rts := httptest.NewServer(rt)
+	t.Cleanup(func() {
+		rts.Close()
+		rt.Close()
+	})
+
+	// No client-chosen ID, so the router must inject one.
+	body := `{"workload":"SCC","params":{"seed":` + bigSeed + `}}`
+	resp, err := http.Post(rts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+
+	mu.Lock()
+	got := string(forwarded)
+	mu.Unlock()
+	if !strings.Contains(got, bigSeed) {
+		t.Fatalf("forwarded body corrupted the seed:\n  %s\n(wanted literal %s)", got, bigSeed)
+	}
+	if !strings.Contains(got, `"id":"`) {
+		t.Fatalf("forwarded body has no injected id: %s", got)
+	}
+	// The injected ID must decode as the routing ID (last-wins).
+	var probe struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(forwarded, &probe); err != nil || probe.ID == "" {
+		t.Fatalf("forwarded body id = %q, err %v", probe.ID, err)
+	}
+}
+
+// TestTimeout503IsJSONWithRetryAfter: http.TimeoutHandler's own 503 is
+// plain text with no retry hint; the wrapper must rewrite it into the
+// API's JSON error shape plus Retry-After, because clients key retries
+// off both.
+func TestTimeout503IsJSONWithRetryAfter(t *testing.T) {
+	srv := service.NewServer(service.ServerConfig{RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (timeout)", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("timeout 503 Content-Type = %q, want application/json", ct)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("timeout 503 carries no Retry-After")
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(body), &apiErr); err != nil {
+		t.Fatalf("timeout 503 body is not JSON: %v (body %q)", err, body)
+	}
+	if apiErr.Error == "" {
+		t.Fatalf("timeout 503 body = %q, want an error field", body)
+	}
+}
+
+// TestTimedOutAdvanceRetryConverges: a timeout 503 can fire AFTER the
+// advance mutated the session, so the client's blind retry is only
+// safe because a re-advance of the same stage replays idempotently.
+// This pins the semantics the retry policy depends on.
+func TestTimedOutAdvanceRetryConverges(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, service.CreateSessionRequest{
+		ID: "retry-scc", Workload: "SCC", Advisor: testAdvisorConfig(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitJob(ctx, "retry-scc", 0); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.Build("SCC", workload.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := spec.Graph.Jobs[0].NewStages[0].ID
+	// The "timed-out" first attempt: the mutation landed even though
+	// (in the failure scenario) the client never saw the response.
+	first, err := c.Advance(ctx, "retry-scc", stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blind retry must converge on the identical advice.
+	again, err := c.Advance(ctx, "retry-scc", stage)
+	if err != nil {
+		t.Fatalf("retried advance: %v", err)
+	}
+	if !again.Replayed {
+		t.Fatal("retried advance not served as a replay")
+	}
+	if again.Fingerprint() != first.Fingerprint() {
+		t.Fatalf("retry diverged:\n  first: %s\n  retry: %s", first.Fingerprint(), again.Fingerprint())
+	}
+}
+
+// TestHeartbeatsReuseConnections: the heartbeat loop must drain each
+// response body before closing it. On a loopback httptest peer the
+// transport buffers the whole response, so the decoder sees EOF with
+// the final data and the missing drain is invisible — the peer here is
+// a raw socket speaking chunked HTTP whose terminating chunk arrives
+// AFTER the JSON value, the shape the drain exists for. Without the
+// drain, every heartbeat closes a half-read body, tears the connection
+// down, and the next round pays a fresh TCP handshake.
+func TestHeartbeatsReuseConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var conns atomic.Int64
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func(nc net.Conn) {
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				for {
+					req, err := http.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					io.Copy(io.Discard, req.Body)
+					req.Body.Close()
+					io.WriteString(nc, "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n\r\n3\r\n{}\n\r\n")
+					// The delayed terminator: the client's decoder finishes
+					// the value before EOF is observable.
+					time.Sleep(15 * time.Millisecond)
+					io.WriteString(nc, "0\r\n\r\n")
+				}
+			}(nc)
+		}
+	}()
+
+	srv := service.NewServer(service.ServerConfig{
+		Peers: service.PeerConfig{
+			Self:  "http://self",
+			Peers: []string{"http://" + ln.Addr().String()},
+			Every: 5 * time.Millisecond,
+		},
+	})
+	t.Cleanup(srv.Close)
+
+	// ~20 heartbeat rounds; an undrained loop opens a connection per
+	// round.
+	time.Sleep(400 * time.Millisecond)
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("peer saw %d TCP connections across heartbeat rounds, want 1 (bodies not drained?)", got)
+	}
+}
+
+// countingStore wraps a SnapshotStore counting Load and Has calls.
+type countingStore struct {
+	service.SnapshotStore
+	loads atomic.Int64
+	has   atomic.Int64
+}
+
+func (c *countingStore) Load(id string) (*service.Snapshot, error) {
+	c.loads.Add(1)
+	return c.SnapshotStore.Load(id)
+}
+
+func (c *countingStore) Has(id string) (bool, error) {
+	c.has.Add(1)
+	return c.SnapshotStore.Has(id)
+}
+
+// TestDeleteProbesWithHasNotLoad: deciding whether a snapshot exists
+// must not deserialize the full op-log snapshot.
+func TestDeleteProbesWithHasNotLoad(t *testing.T) {
+	store := &countingStore{SnapshotStore: service.NewMemStore()}
+	srv := service.NewServer(service.ServerConfig{
+		Snapshots: service.SnapshotPolicy{Store: store, EveryOps: 1},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	c := client.New(client.Config{BaseURL: ts.URL})
+
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, service.CreateSessionRequest{
+		ID: "probe-scc", Workload: "SCC", Advisor: testAdvisorConfig(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitJob(ctx, "probe-scc", 0); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := store.SnapshotStore.Has("probe-scc"); err != nil || !ok {
+		t.Fatalf("snapshot not written before delete (ok=%v err=%v)", ok, err)
+	}
+
+	store.loads.Store(0)
+	store.has.Store(0)
+	if err := c.DeleteSession(ctx, "probe-scc"); err != nil {
+		t.Fatal(err)
+	}
+	if store.has.Load() == 0 {
+		t.Fatal("delete never probed the store with Has")
+	}
+	if n := store.loads.Load(); n != 0 {
+		t.Fatalf("delete deserialized %d full snapshots; existence must use Has", n)
+	}
+}

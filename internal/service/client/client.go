@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,6 +52,13 @@ type Config struct {
 	// successful call, parsed from the X-Mrd-* response headers each
 	// tier stamps.
 	OnHops func(Hops)
+	// Binary moves session operations onto the persistent-connection
+	// frame protocol (wire.go); healthz and discovery stay HTTP. The
+	// typed API and error values are identical on both transports.
+	Binary bool
+	// FrameAddr pins the frame listener's host:port, skipping /healthz
+	// discovery. Only meaningful with Binary.
+	FrameAddr string
 }
 
 // Hops is one successful call's per-hop latency breakdown. Hop fields
@@ -89,6 +97,15 @@ type Client struct {
 	jitter  atomic.Uint64 // splitmix64 state
 	tracer  *trace.Tracer
 	onHops  func(Hops)
+
+	// Frame-protocol state (Config.Binary; see wire.go).
+	binary         bool
+	framePin       string
+	frameAddrCache atomic.Value // string
+	wmu            sync.Mutex
+	wconns         map[string]*frameConn
+	wireEpoch      atomic.Uint32
+	epochFlips     atomic.Int64
 }
 
 // New builds a client.
@@ -108,6 +125,7 @@ func New(cfg Config) *Client {
 	c := &Client{
 		base: strings.TrimRight(cfg.BaseURL, "/"), hc: hc, retry: cfg.Retry,
 		maxWait: maxWait, tracer: cfg.Tracer, onHops: cfg.OnHops,
+		binary: cfg.Binary, framePin: cfg.FrameAddr,
 	}
 	c.jitter.Store(seed)
 	return c
@@ -125,6 +143,9 @@ func (e *Error) Error() string {
 
 // CreateSession registers an application and returns its session.
 func (c *Client) CreateSession(ctx context.Context, req service.CreateSessionRequest) (service.CreateSessionResponse, error) {
+	if c.binary {
+		return c.createWire(ctx, req)
+	}
 	var resp service.CreateSessionResponse
 	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp)
 	return resp, err
@@ -133,6 +154,9 @@ func (c *Client) CreateSession(ctx context.Context, req service.CreateSessionReq
 // GetSession fetches the session's replay cursor (restoring it from
 // the snapshot store on demand server-side).
 func (c *Client) GetSession(ctx context.Context, sessionID string) (service.SessionStatus, error) {
+	if c.binary {
+		return c.statusWire(ctx, sessionID)
+	}
 	var resp service.SessionStatus
 	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+sessionID, nil, &resp)
 	return resp, err
@@ -140,6 +164,9 @@ func (c *Client) GetSession(ctx context.Context, sessionID string) (service.Sess
 
 // SubmitJob feeds the next job to the session.
 func (c *Client) SubmitJob(ctx context.Context, sessionID string, job int) (service.SubmitJobResponse, error) {
+	if c.binary {
+		return c.submitJobWire(ctx, sessionID, job)
+	}
 	var resp service.SubmitJobResponse
 	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/jobs", service.SubmitJobRequest{Job: job}, &resp)
 	return resp, err
@@ -148,13 +175,32 @@ func (c *Client) SubmitJob(ctx context.Context, sessionID string, job int) (serv
 // Advance moves the session to a stage boundary and returns the
 // server's advice.
 func (c *Client) Advance(ctx context.Context, sessionID string, stage int) (service.Advice, error) {
+	if c.binary {
+		return c.advanceWire(ctx, sessionID, stage)
+	}
 	var resp service.Advice
 	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/stage", service.AdvanceRequest{Stage: stage}, &resp)
 	return resp, err
 }
 
+// RunBatch drives a run of schedule steps (job submits and advances)
+// in one call, returning every advice the run produced. Over the frame
+// protocol the advices stream back as they are computed; over JSON the
+// server buffers them into one response.
+func (c *Client) RunBatch(ctx context.Context, sessionID string, steps []service.Step) (service.BatchResponse, error) {
+	if c.binary {
+		return c.batchWire(ctx, sessionID, steps)
+	}
+	var resp service.BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/batch", service.BatchRequest{Steps: steps}, &resp)
+	return resp, err
+}
+
 // DeleteSession tears the session down.
 func (c *Client) DeleteSession(ctx context.Context, sessionID string) error {
+	if c.binary {
+		return c.deleteWire(ctx, sessionID)
+	}
 	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, nil)
 }
 
@@ -170,9 +216,10 @@ func (c *Client) Healthz(ctx context.Context) (service.Healthz, error) {
 // jittered exponential backoff and the server's Retry-After hint; the
 // whole call is bounded by MaxRetryWait via a context deadline, so
 // "retries exhausted" and "dead server" both fail within a known
-// budget. 503s are safe to retry unconditionally — the
-// bounded-concurrency middleware sheds before any handler state
-// changes.
+// budget. 503s are safe to retry because every mutating operation is
+// idempotent server-side: a shed 503 never touched handler state, and
+// a timeout 503 that raced a mutation which then completed converges
+// on the retry's idempotent replay.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -271,15 +318,21 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 			io.Copy(io.Discard, resp.Body)
 			return false, 0, nil
 		}
-		return false, 0, json.NewDecoder(resp.Body).Decode(out)
+		err = json.NewDecoder(resp.Body).Decode(out)
+		// Drain past the decoded value (at least the trailing newline):
+		// a body closed with unread bytes kills the keep-alive
+		// connection, turning every call into a fresh TCP handshake.
+		io.Copy(io.Discard, resp.Body)
+		return false, 0, err
 	}
 	apiErr := &Error{Status: resp.StatusCode, Msg: resp.Status}
-	var wire struct {
+	var errBody struct {
 		Error string `json:"error"`
 	}
-	if json.NewDecoder(resp.Body).Decode(&wire) == nil && wire.Error != "" {
-		apiErr.Msg = wire.Error
+	if json.NewDecoder(resp.Body).Decode(&errBody) == nil && errBody.Error != "" {
+		apiErr.Msg = errBody.Error
 	}
+	io.Copy(io.Discard, resp.Body) // keep the connection reusable (see above)
 	return resp.StatusCode == http.StatusServiceUnavailable, parseRetryAfter(resp.Header.Get("Retry-After")), apiErr
 }
 

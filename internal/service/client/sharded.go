@@ -46,6 +46,10 @@ type ShardedConfig struct {
 	// OnHops receives every successful call's per-hop breakdown (see
 	// Config.OnHops).
 	OnHops func(Hops)
+	// Binary puts every per-shard client on the frame protocol (see
+	// Config.Binary); each shard's frame address is discovered through
+	// its /healthz.
+	Binary bool
 }
 
 // opKind tags one recorded session operation.
@@ -123,6 +127,7 @@ func (s *Sharded) clientFor(shard string) *Client {
 		JitterSeed:   seed,
 		Tracer:       s.cfg.Tracer,
 		OnHops:       s.cfg.OnHops,
+		Binary:       s.cfg.Binary,
 	})
 	s.clients[shard] = c
 	return c
@@ -209,6 +214,35 @@ func (s *Sharded) Advance(ctx context.Context, sessionID string, stage int) (ser
 	return adv, err
 }
 
+// RunBatch drives a run of schedule steps in one call, recording each
+// step for post-failover replay — a batch that died mid-stream on a
+// shard failure replays step-by-step on the successor (each op is
+// idempotent), then the whole batch retries there.
+func (s *Sharded) RunBatch(ctx context.Context, sessionID string, steps []service.Step) (service.BatchResponse, error) {
+	st, ok := s.state(sessionID)
+	if !ok {
+		return service.BatchResponse{}, fmt.Errorf("client: unknown session %q", sessionID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var resp service.BatchResponse
+	err := s.withFailover(ctx, sessionID, st, func(c *Client) error {
+		var err error
+		resp, err = c.RunBatch(ctx, sessionID, steps)
+		return err
+	})
+	if err == nil {
+		for _, step := range steps {
+			if step.Stage < 0 {
+				st.ops = append(st.ops, op{opJob, step.Job})
+			} else {
+				st.ops = append(st.ops, op{opAdvance, step.Stage})
+			}
+		}
+	}
+	return resp, err
+}
+
 // DeleteSession tears the session down and drops its replay state.
 func (s *Sharded) DeleteSession(ctx context.Context, sessionID string) error {
 	st, ok := s.state(sessionID)
@@ -226,6 +260,16 @@ func (s *Sharded) DeleteSession(ctx context.Context, sessionID string) error {
 		s.mu.Unlock()
 	}
 	return err
+}
+
+// Close closes every per-shard client's frame connections (a no-op on
+// the JSON transport).
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.clients {
+		c.Close()
+	}
 }
 
 // withFailover runs call against the session's current owner; on a

@@ -3,10 +3,11 @@ package service
 import "mrdspark/internal/dag"
 
 // Step is one action in an application's canonical replay: a job
-// submission (Stage < 0) or a stage-boundary advance.
+// submission (Stage < 0) or a stage-boundary advance. It is also the
+// unit of the batch API (BatchRequest, OpBatch).
 type Step struct {
-	Job   int
-	Stage int
+	Job   int `json:"job"`
+	Stage int `json:"stage"`
 }
 
 // Schedule returns the canonical replay order of an application: each

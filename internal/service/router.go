@@ -2,9 +2,12 @@ package service
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -13,6 +16,7 @@ import (
 	"time"
 
 	"mrdspark/internal/obs/trace"
+	"mrdspark/internal/service/wire"
 )
 
 // RouterConfig wires a stateless routing front over a shard group.
@@ -67,6 +71,14 @@ type Router struct {
 	stopProbe chan struct{}
 	probeDone chan struct{}
 	closeOnce sync.Once
+
+	// Frame pass-through state: this router's own frame listener
+	// address, the per-shard frame addresses learned from /healthz, and
+	// the splice count.
+	frameAddr    atomic.Value // string
+	fmu          sync.Mutex
+	frameAddrs   map[string]string
+	frameSplices atomic.Int64
 }
 
 // NewRouter builds a router over the shard group. Call Close to stop
@@ -113,12 +125,23 @@ func (r *Router) Tracer() *trace.Tracer { return r.tracer }
 
 // RouterStatus is the router's own GET /healthz payload.
 type RouterStatus struct {
-	Status   string   `json:"status"`
-	Shards   []string `json:"shards"`
-	Alive    []string `json:"alive"`
-	Version  int64    `json:"version"`
-	Proxied  int64    `json:"proxied"`
-	Reroutes int64    `json:"reroutes"`
+	Status       string   `json:"status"`
+	Shards       []string `json:"shards"`
+	Alive        []string `json:"alive"`
+	Version      int64    `json:"version"`
+	Proxied      int64    `json:"proxied"`
+	Reroutes     int64    `json:"reroutes"`
+	FrameAddr    string   `json:"frameAddr,omitempty"`
+	FrameSplices int64    `json:"frameSplices"`
+}
+
+// FrameAddr returns the router's frame listener address, empty until
+// ServeFrames is running.
+func (r *Router) FrameAddr() string {
+	if v := r.frameAddr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
 }
 
 // ServeHTTP implements http.Handler.
@@ -129,12 +152,14 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			status = "no-shards"
 		}
 		writeJSON(w, http.StatusOK, RouterStatus{
-			Status:   status,
-			Shards:   r.shards.Shards(),
-			Alive:    r.shards.Alive(),
-			Version:  r.shards.Version(),
-			Proxied:  r.proxied.Load(),
-			Reroutes: r.reroutes.Load(),
+			Status:       status,
+			Shards:       r.shards.Shards(),
+			Alive:        r.shards.Alive(),
+			Version:      r.shards.Version(),
+			Proxied:      r.proxied.Load(),
+			Reroutes:     r.reroutes.Load(),
+			FrameAddr:    r.FrameAddr(),
+			FrameSplices: r.frameSplices.Load(),
 		})
 		return
 	}
@@ -175,21 +200,65 @@ func (r *Router) routingKey(w http.ResponseWriter, req *http.Request, body []byt
 		if probe.ID != "" {
 			return probe.ID, body, true
 		}
-		var payload map[string]any
-		if err := json.Unmarshal(body, &payload); err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
-			return "", nil, false
-		}
 		id := fmt.Sprintf("%s-%d", r.idPrefix, r.nextID.Add(1))
-		payload["id"] = id
-		injected, err := json.Marshal(payload)
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		injected, ok := spliceID(body, id)
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body"})
 			return "", nil, false
 		}
 		return id, injected, true
 	}
 	return req.URL.Path, body, true
+}
+
+// spliceID injects `"id":"<id>"` into a JSON object body without
+// round-tripping it through Go values. The previous implementation
+// unmarshalled into map[string]any and re-marshalled, which coerces
+// every number to float64 — a workload seed above 2^53 came out the
+// far side silently corrupted. Splicing into the raw bytes preserves
+// every other field bit-for-bit. The field lands immediately before
+// the closing brace, i.e. last in the object, so under Go's last-wins
+// duplicate-key decoding it also overrides an explicit `"id":""`.
+func spliceID(body []byte, id string) ([]byte, bool) {
+	if !json.Valid(body) {
+		return nil, false
+	}
+	i := 0
+	for i < len(body) && isJSONSpace(body[i]) {
+		i++
+	}
+	if i == len(body) || body[i] != '{' {
+		return nil, false
+	}
+	j := len(body) - 1
+	for j > i && isJSONSpace(body[j]) {
+		j--
+	}
+	if body[j] != '}' {
+		return nil, false
+	}
+	// Empty object ⇒ no leading comma. body is valid JSON whose first
+	// and last tokens are braces, so anything between them is content.
+	empty := true
+	for k := i + 1; k < j; k++ {
+		if !isJSONSpace(body[k]) {
+			empty = false
+			break
+		}
+	}
+	out := make([]byte, 0, len(body)+len(id)+8)
+	out = append(out, body[:j]...)
+	if !empty {
+		out = append(out, ',')
+	}
+	out = append(out, `"id":`...)
+	out = strconv.AppendQuote(out, id)
+	out = append(out, body[j:]...)
+	return out, true
+}
+
+func isJSONSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
 }
 
 // forward proxies the request to the key's owner, marking shards dead
@@ -248,6 +317,163 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, key string, b
 	writeJSON(w, http.StatusBadGateway, apiError{Error: "no reachable shard for " + key})
 }
 
+// ServeFrames accepts binary-protocol connections and splices each to
+// the shard that owns the session named in its hello frame. Unlike the
+// HTTP path the router never re-buffers frames: after forwarding the
+// hello it copies bytes in both directions until either side closes,
+// so batch advice streams flow through at pipe speed.
+func (r *Router) ServeFrames(ln net.Listener) error {
+	r.frameAddr.Store(ln.Addr().String())
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go r.spliceFrames(nc)
+	}
+}
+
+// readHelloFrame reads one frame and returns its raw bytes (length
+// word included, ready to forward verbatim), parsed header, and the
+// session ID carried by an OpHello payload.
+func readHelloFrame(nc net.Conn) (raw []byte, h wire.Header, id string, err error) {
+	var lenWord [4]byte
+	if _, err = io.ReadFull(nc, lenWord[:]); err != nil {
+		return nil, h, "", err
+	}
+	n := binary.BigEndian.Uint32(lenWord[:])
+	if n < wire.HeaderLen || n > wire.MaxFrame {
+		return nil, h, "", fmt.Errorf("service: bad hello frame length %d", n)
+	}
+	raw = make([]byte, 4+n)
+	copy(raw, lenWord[:])
+	if _, err = io.ReadFull(nc, raw[4:]); err != nil {
+		return nil, h, "", err
+	}
+	h.Version = raw[4]
+	h.Op = raw[5]
+	h.Flags = binary.BigEndian.Uint16(raw[6:8])
+	h.Epoch = binary.BigEndian.Uint32(raw[8:12])
+	h.Seq = binary.BigEndian.Uint64(raw[12:20])
+	if h.Version != wire.Version || h.Op != wire.OpHello {
+		return nil, h, "", fmt.Errorf("service: expected hello frame, got version %d op %#x", h.Version, h.Op)
+	}
+	d := wire.NewDec(raw[4+wire.HeaderLen:])
+	id = d.Str()
+	if err := d.Err(); err != nil {
+		return nil, h, "", err
+	}
+	return raw, h, id, nil
+}
+
+func (r *Router) spliceFrames(nc net.Conn) {
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	raw, h, id, err := readHelloFrame(nc)
+	if err != nil {
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	key := id
+	if key == "" {
+		key = "frame"
+	}
+	tried := map[string]bool{}
+	for attempt := 0; attempt < routerRetries; attempt++ {
+		owner := r.shards.Owner(key)
+		if owner == "" || tried[owner] {
+			break
+		}
+		tried[owner] = true
+		addr, err := r.frameAddrFor(owner)
+		if err != nil {
+			r.shards.MarkDead(owner)
+			r.dropFrameAddr(owner)
+			r.reroutes.Add(1)
+			continue
+		}
+		sc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			r.shards.MarkDead(owner)
+			r.dropFrameAddr(owner)
+			r.reroutes.Add(1)
+			continue
+		}
+		if _, err := sc.Write(raw); err != nil {
+			sc.Close()
+			r.shards.MarkDead(owner)
+			r.dropFrameAddr(owner)
+			r.reroutes.Add(1)
+			continue
+		}
+		r.frameSplices.Add(1)
+		go func() {
+			io.Copy(sc, nc)
+			if tc, ok := sc.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			} else {
+				sc.Close()
+			}
+		}()
+		io.Copy(nc, sc)
+		sc.Close()
+		return
+	}
+	// No reachable shard: answer the hello with an error frame so the
+	// client fails fast instead of timing out.
+	var e wire.Enc
+	e.Begin(wire.Header{Version: wire.Version, Op: wire.OpError, Seq: h.Seq})
+	e.Uvarint(uint64(http.StatusBadGateway))
+	e.Str("no reachable shard for " + key)
+	if f, err := e.Frame(); err == nil {
+		nc.Write(f)
+	}
+}
+
+// frameAddrFor resolves a shard's frame listener address, from cache
+// or by asking its /healthz.
+func (r *Router) frameAddrFor(shard string) (string, error) {
+	r.fmu.Lock()
+	if addr, ok := r.frameAddrs[shard]; ok {
+		r.fmu.Unlock()
+		return addr, nil
+	}
+	r.fmu.Unlock()
+	resp, err := r.client.Get(shard + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	var hz Healthz
+	err = json.NewDecoder(resp.Body).Decode(&hz)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if hz.FrameAddr == "" {
+		return "", errors.New("service: shard has no frame listener")
+	}
+	r.setFrameAddr(shard, hz.FrameAddr)
+	return hz.FrameAddr, nil
+}
+
+func (r *Router) setFrameAddr(shard, addr string) {
+	r.fmu.Lock()
+	if r.frameAddrs == nil {
+		r.frameAddrs = map[string]string{}
+	}
+	r.frameAddrs[shard] = addr
+	r.fmu.Unlock()
+}
+
+// dropFrameAddr forgets a shard's cached frame address; a restarted
+// shard listens on a fresh port, so death invalidates the cache.
+func (r *Router) dropFrameAddr(shard string) {
+	r.fmu.Lock()
+	delete(r.frameAddrs, shard)
+	r.fmu.Unlock()
+}
+
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
@@ -280,7 +506,15 @@ func (r *Router) probeOnce() {
 		resp, err := r.client.Get(shard + "/healthz")
 		if err != nil {
 			r.shards.MarkDead(shard)
+			r.dropFrameAddr(shard)
 			continue
+		}
+		// The probe doubles as frame-address discovery: a restarted
+		// shard advertises a fresh frame listener here, which replaces
+		// whatever the splice path had cached.
+		var hz Healthz
+		if json.NewDecoder(resp.Body).Decode(&hz) == nil && hz.FrameAddr != "" {
+			r.setFrameAddr(shard, hz.FrameAddr)
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()

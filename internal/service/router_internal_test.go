@@ -1,0 +1,64 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSpliceID(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		ok   bool
+	}{
+		{"empty object", `{}`, true},
+		{"empty with space", `  {  }  `, true},
+		{"fields", `{"workload":"SCC"}`, true},
+		{"big int preserved", `{"params":{"seed":9007199254740993}}`, true},
+		{"explicit empty id overridden", `{"id":"","workload":"SCC"}`, true},
+		{"nested trailing brace", `{"a":{"b":{}}}`, true},
+		{"trailing whitespace", "{\"a\":1}\n\t ", true},
+		{"array", `[1,2]`, false},
+		{"scalar", `42`, false},
+		{"invalid", `{"a":`, false},
+		{"empty", ``, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, ok := spliceID([]byte(tc.body), "inj-1")
+			if ok != tc.ok {
+				t.Fatalf("spliceID(%q) ok = %v, want %v", tc.body, ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if !json.Valid(out) {
+				t.Fatalf("spliceID(%q) produced invalid JSON: %s", tc.body, out)
+			}
+			var probe struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(out, &probe); err != nil {
+				t.Fatal(err)
+			}
+			if probe.ID != "inj-1" {
+				t.Fatalf("spliceID(%q) id = %q (out %s)", tc.body, probe.ID, out)
+			}
+		})
+	}
+}
+
+// TestSpliceIDPreservesBytes: everything except the injected field
+// must pass through bit-for-bit (the map[string]any round-trip this
+// replaced corrupted integers above 2^53).
+func TestSpliceIDPreservesBytes(t *testing.T) {
+	body := `{"workload":"SCC","params":{"seed":9007199254740993,"scale":1.00000000000000002}}`
+	out, ok := spliceID([]byte(body), "x")
+	if !ok {
+		t.Fatal("spliceID refused a valid object")
+	}
+	want := `{"workload":"SCC","params":{"seed":9007199254740993,"scale":1.00000000000000002},"id":"x"}`
+	if string(out) != want {
+		t.Fatalf("spliceID output:\n  got  %s\n  want %s", out, want)
+	}
+}

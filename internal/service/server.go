@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -114,6 +115,13 @@ type Server struct {
 	stopHB   chan struct{}
 	hbDone   chan struct{}
 
+	// Binary wire-protocol tier (frameserver.go): the session epoch
+	// clients use to detect restarts, the advertised frame address, and
+	// the wire-side counters behind /metrics.
+	epoch     uint32
+	frameAddr atomic.Value // string
+	wire      wireStats
+
 	// closeOnce makes Close idempotent: failover tests (and belt-and-
 	// braces shutdown paths) may close a killed shard again.
 	closeOnce sync.Once
@@ -139,6 +147,12 @@ func NewServer(cfg ServerConfig) *Server {
 		stopHB:    make(chan struct{}),
 		hbDone:    make(chan struct{}),
 	}
+	// The session epoch identifies this server incarnation on the wire
+	// protocol: a client that reconnects and sees a new epoch knows the
+	// in-memory session table was rebuilt (restart or failover) and that
+	// idempotent replay is what reconciles its state.
+	s.epoch = uint32(s.started.Unix())
+	s.frameAddr.Store("")
 	go s.janitor()
 	if len(cfg.Peers.Peers) > 0 {
 		go s.heartbeater()
@@ -251,6 +265,29 @@ type AdvanceRequest struct {
 	Stage int `json:"stage"`
 }
 
+// BatchRequest submits a run of schedule steps — typically one job
+// submission followed by that job's stage advances — in a single call,
+// replacing a round trip per step. Steps execute in order; the first
+// failure aborts the rest. Every step is individually idempotent, so
+// retrying a whole batch after a timeout or failover converges by
+// replay exactly like retrying single calls does.
+type BatchRequest struct {
+	Steps []Step `json:"steps"`
+}
+
+// BatchResponse carries every advice the batch produced, in step
+// order. (The binary transport streams them as individual frames
+// instead of buffering; this JSON shape is the same data at rest.)
+type BatchResponse struct {
+	Jobs    int      `json:"jobs"`
+	Advices []Advice `json:"advices"`
+}
+
+// maxBatchSteps bounds one batch call; a schedule larger than this is
+// split by the client. Keeps worst-case response sizes (and the time a
+// batch holds the session lock) bounded.
+const maxBatchSteps = 4096
+
 // Healthz is the health endpoint's payload.
 type Healthz struct {
 	Status      string `json:"status"`
@@ -259,6 +296,10 @@ type Healthz struct {
 	Requests    int64  `json:"requests"`
 	EvictedLRU  int64  `json:"evictedLru"`
 	EvictedIdle int64  `json:"evictedIdle"`
+	// FrameAddr is the binary wire-protocol listener's address, empty
+	// when the wire transport is disabled. Clients discover the frame
+	// endpoint from here so -bin needs no extra configuration.
+	FrameAddr string `json:"frameAddr,omitempty"`
 }
 
 // apiError is the JSON error body every non-2xx response carries.
@@ -274,6 +315,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.route("status", s.handleGetSession))
 	mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.route("submit_job", s.handleSubmitJob))
 	mux.HandleFunc("POST /v1/sessions/{id}/stage", s.route("advance", s.handleAdvance))
+	mux.HandleFunc("POST /v1/sessions/{id}/batch", s.route("batch", s.handleBatch))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
 	mux.HandleFunc("POST /v1/peers/heartbeat", s.route("heartbeat", s.handleHeartbeat))
 	mux.HandleFunc("GET /v1/peers", s.route("peers", s.handlePeers))
@@ -281,8 +323,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	var h http.Handler = mux
 	h = s.limitInflight(h)
-	h = http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")
+	h = timeoutJSON(h, s.cfg.RequestTimeout)
 	return h
+}
+
+// timeoutBody is the apiError JSON a timed-out request receives —
+// pre-marshaled, since it is written from inside http.TimeoutHandler
+// where no encoder runs.
+const timeoutBody = `{"error":"request timed out"}` + "\n"
+
+// timeoutJSON wraps http.TimeoutHandler so its 503 speaks the API's
+// JSON error shape and carries Retry-After — without it, timeouts were
+// the one error path emitting text/plain with no retry hint. The hint
+// matters beyond politeness: a timeout can fire AFTER the handler
+// mutated session state, so the retrying client converges only because
+// every mutation is idempotent-replayable; the Retry-After keeps that
+// retry on the same schedule as a shed.
+func timeoutJSON(next http.Handler, d time.Duration) http.Handler {
+	inner := http.TimeoutHandler(next, d, timeoutBody)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(&timeoutRewriter{ResponseWriter: w}, r)
+	})
+}
+
+// timeoutRewriter distinguishes the TimeoutHandler's own 503 from an
+// inner handler's (the shed path): inner responses always set
+// Content-Type before WriteHeader, the TimeoutHandler's timeout write
+// never does. Only the bare one gets the JSON headers stamped on.
+type timeoutRewriter struct {
+	http.ResponseWriter
+}
+
+func (t *timeoutRewriter) WriteHeader(status int) {
+	if status == http.StatusServiceUnavailable && t.Header().Get("Content-Type") == "" {
+		t.Header().Set("Content-Type", "application/json")
+		t.Header().Set("Retry-After", "1")
+	}
+	t.ResponseWriter.WriteHeader(status)
 }
 
 // route tags the request with its matched route name (the histogram
@@ -374,36 +451,44 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	resp, status, err := s.createSession(r.Context(), req)
+	if err != nil {
+		writeJSON(w, status, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// createSession is the transport-independent create path, shared by
+// the JSON handler and the frame server. It returns the response and
+// the HTTP-equivalent status; a non-nil error's message is the API
+// error body.
+func (s *Server) createSession(ctx context.Context, req CreateSessionRequest) (CreateSessionResponse, int, error) {
 	if req.ID != "" {
 		if !ValidSessionID(req.ID) {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad session ID %q (want %s)", req.ID, sessionIDPattern)})
-			return
+			return CreateSessionResponse{}, http.StatusBadRequest,
+				fmt.Errorf("bad session ID %q (want %s)", req.ID, sessionIDPattern)
 		}
 		// Idempotent create: a live session under this ID — or one
 		// restorable from the snapshot store — is returned instead of
 		// conflicting, so a client retrying across a failover handover
 		// converges on the surviving state.
 		if sess, ok := s.registry.Get(req.ID); ok {
-			writeJSON(w, http.StatusOK, s.describeSession(sess))
-			return
+			return s.describeSession(sess), http.StatusOK, nil
 		}
-		if sess, err := s.restoreSession(r.Context(), req.ID); err == nil {
-			writeJSON(w, http.StatusOK, s.describeSession(sess))
-			return
+		if sess, err := s.restoreSession(ctx, req.ID); err == nil {
+			return s.describeSession(sess), http.StatusOK, nil
 		} else if !errors.Is(err, ErrNoSnapshot) {
-			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
-			return
+			return CreateSessionResponse{}, http.StatusInternalServerError, err
 		}
 	}
 	spec, err := workload.Build(req.Workload, req.Params)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
-		return
+		return CreateSessionResponse{}, http.StatusBadRequest, err
 	}
 	adv, err := NewAdvisor(spec.Graph, req.Advisor)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
-		return
+		return CreateSessionResponse{}, http.StatusBadRequest, err
 	}
 	adv.SetOrigin(req.Workload, req.Params)
 	// Each session gets its own bus — SetStage mutates bus state, so a
@@ -423,18 +508,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		if err != nil { // lost a create race for the same ID
 			detach()
 			if existing, ok := s.registry.Get(req.ID); ok {
-				writeJSON(w, http.StatusOK, s.describeSession(existing))
-				return
+				return s.describeSession(existing), http.StatusOK, nil
 			}
-			writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
-			return
+			return CreateSessionResponse{}, http.StatusConflict, err
 		}
 	} else {
 		sess = s.registry.Create(spec.Name, adv, detach)
 	}
 	resp := s.describeSession(sess)
 	resp.Existing = false
-	writeJSON(w, http.StatusCreated, resp)
+	return resp, http.StatusCreated, nil
 }
 
 // describeSession renders the create-response view of a session.
@@ -468,32 +551,44 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	resp, computeUs, err := s.submitJob(r.Context(), sess, req.Job)
+	w.Header().Set(HeaderComputeUs, strconv.FormatInt(computeUs, 10))
+	if err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// submitJob is the transport-independent job-submission core. Errors
+// map to HTTP 409 (the session exists but rejected the op) on every
+// transport.
+func (s *Server) submitJob(ctx context.Context, sess *Session, job int) (SubmitJobResponse, int64, error) {
 	var resp SubmitJobResponse
-	sp := s.tracer.Start(trace.FromContext(r.Context()), "advisor-compute")
+	sp := s.tracer.Start(trace.FromContext(ctx), "advisor-compute")
 	computeStart := time.Now()
 	err := sess.WithAdvisor(func(a *Advisor) error {
 		// Idempotent replay: a job the session has already consumed is
 		// acknowledged again rather than conflicting, so post-failover
 		// op replay by the sharded client converges.
-		if req.Job >= 0 && req.Job < a.NextJob() {
-			resp = SubmitJobResponse{Job: req.Job, NextJob: a.NextJob(), Replayed: true}
+		if job >= 0 && job < a.NextJob() {
+			resp = SubmitJobResponse{Job: job, NextJob: a.NextJob(), Replayed: true}
 			return nil
 		}
-		if err := a.SubmitJob(req.Job); err != nil {
+		if err := a.SubmitJob(job); err != nil {
 			return err
 		}
-		resp = SubmitJobResponse{Job: req.Job, NextJob: a.NextJob()}
+		resp = SubmitJobResponse{Job: job, NextJob: a.NextJob()}
 		s.noteMutation(sess, a)
 		return nil
 	})
-	w.Header().Set(HeaderComputeUs, strconv.FormatInt(time.Since(computeStart).Microseconds(), 10))
+	computeUs := time.Since(computeStart).Microseconds()
 	if err != nil {
 		sp.EndWith("error: " + err.Error())
-		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
-		return
+		return SubmitJobResponse{}, computeUs, err
 	}
 	sp.EndWith(fmt.Sprintf("job=%d replayed=%t", resp.Job, resp.Replayed))
-	writeJSON(w, http.StatusOK, resp)
+	return resp, computeUs, nil
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
@@ -505,38 +600,108 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	advice, computeUs, err := s.advance(r.Context(), sess, req.Stage)
+	w.Header().Set(HeaderComputeUs, strconv.FormatInt(computeUs, 10))
+	if err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, advice)
+}
+
+// advance is the transport-independent stage-advance core; errors map
+// to HTTP 409 on every transport.
+func (s *Server) advance(ctx context.Context, sess *Session, stage int) (Advice, int64, error) {
 	var advice Advice
 	// The policy-compute span is the one the waterfall reads the
 	// decision off: its annotation is the advice Fingerprint, the same
 	// canonical string the parity oracle compares.
-	sp := s.tracer.Start(trace.FromContext(r.Context()), "advisor-compute")
+	sp := s.tracer.Start(trace.FromContext(ctx), "advisor-compute")
 	computeStart := time.Now()
 	err := sess.WithAdvisor(func(a *Advisor) error {
 		// Idempotent replay: an already-advanced stage is served its
 		// recorded advice — byte-identical to the original response —
 		// so a retry that lands after the original advance (or after a
 		// failover handover) cannot fork the session.
-		if recorded, ok := a.AdviceFor(req.Stage); ok {
+		if recorded, ok := a.AdviceFor(stage); ok {
 			advice = recorded
 			advice.Replayed = true
 			return nil
 		}
 		var err error
-		advice, err = a.Advance(req.Stage)
+		advice, err = a.Advance(stage)
 		if err == nil {
 			sess.advances++
 			s.noteMutation(sess, a)
 		}
 		return err
 	})
-	w.Header().Set(HeaderComputeUs, strconv.FormatInt(time.Since(computeStart).Microseconds(), 10))
+	computeUs := time.Since(computeStart).Microseconds()
 	if err != nil {
 		sp.EndWith("error: " + err.Error())
-		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
-		return
+		return Advice{}, computeUs, err
 	}
 	sp.EndWith(advice.Fingerprint())
-	writeJSON(w, http.StatusOK, advice)
+	return advice, computeUs, nil
+}
+
+// handleBatch runs a whole run of schedule steps in one request and
+// returns every advice. The wire transport's OpBatch streams the same
+// execution as individual advice frames; here the advices buffer into
+// one JSON response.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req BatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp := BatchResponse{Advices: make([]Advice, 0, len(req.Steps))}
+	computeUs, status, err := s.runBatch(r.Context(), sess, req.Steps, func(a Advice) error {
+		resp.Advices = append(resp.Advices, a)
+		return nil
+	}, &resp.Jobs)
+	w.Header().Set(HeaderComputeUs, strconv.FormatInt(computeUs, 10))
+	if err != nil {
+		writeJSON(w, status, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatch executes schedule steps in order against one session,
+// handing each advice to emit as it is produced (the frame server
+// streams them; the JSON handler buffers). The first failing step
+// aborts the batch — steps already applied stay applied, which is safe
+// because a batch retry replays them idempotently. An emit error also
+// aborts (the connection is gone; nothing to report to).
+func (s *Server) runBatch(ctx context.Context, sess *Session, steps []Step, emit func(Advice) error, jobs *int) (int64, int, error) {
+	if len(steps) > maxBatchSteps {
+		return 0, http.StatusBadRequest, fmt.Errorf("batch of %d steps exceeds %d", len(steps), maxBatchSteps)
+	}
+	var computeUs int64
+	for i, st := range steps {
+		if st.Stage < 0 {
+			_, us, err := s.submitJob(ctx, sess, st.Job)
+			computeUs += us
+			if err != nil {
+				return computeUs, http.StatusConflict, fmt.Errorf("batch step %d (job %d): %w", i, st.Job, err)
+			}
+			*jobs++
+			continue
+		}
+		advice, us, err := s.advance(ctx, sess, st.Stage)
+		computeUs += us
+		if err != nil {
+			return computeUs, http.StatusConflict, fmt.Errorf("batch step %d (stage %d): %w", i, st.Stage, err)
+		}
+		if err := emit(advice); err != nil {
+			return computeUs, http.StatusInternalServerError, err
+		}
+	}
+	return computeUs, http.StatusOK, nil
 }
 
 // handleGetSession reports the session's replay cursor (and restores
@@ -546,6 +711,11 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	writeJSON(w, http.StatusOK, s.sessionStatus(sess))
+}
+
+// sessionStatus renders the session's replay cursor.
+func (s *Server) sessionStatus(sess *Session) SessionStatus {
 	var st SessionStatus
 	_ = sess.WithAdvisor(func(a *Advisor) error {
 		st = SessionStatus{
@@ -559,25 +729,32 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
-	writeJSON(w, http.StatusOK, st)
+	return st
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+	if !s.deleteSession(r.PathValue("id")) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no session %q", r.PathValue("id"))})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// deleteSession tears a session down everywhere it exists, reporting
+// whether anything was actually deleted.
+func (s *Server) deleteSession(id string) bool {
 	deleted := s.registry.Delete(id)
 	// An explicit delete also retires the persisted snapshot: the
-	// session is gone on purpose, not lost.
+	// session is gone on purpose, not lost. The existence probe is Has,
+	// not Load — deciding whether to delete must not deserialize a full
+	// op-log snapshot.
 	if s.snapStore != nil {
-		if _, err := s.snapStore.Load(id); err == nil {
+		if ok, err := s.snapStore.Has(id); err == nil && ok {
 			_ = s.snapStore.Delete(id)
 			deleted = true
 		}
 	}
-	if !deleted {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no session %q", id)})
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
+	return deleted
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -589,6 +766,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Requests:    s.requests.Load(),
 		EvictedLRU:  lru,
 		EvictedIdle: idle,
+		FrameAddr:   s.FrameAddr(),
 	})
 }
 
@@ -617,6 +795,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP mrdserver_peers_alive Peer shards currently within their liveness deadline.\n# TYPE mrdserver_peers_alive gauge\nmrdserver_peers_alive %d\n", alive)
 	bw := &promWriter{w: w}
 	s.http.writePrometheus(bw)
+	s.wire.writePrometheus(w)
 	total, dropped := s.tracer.Stats()
 	fmt.Fprintf(w, "# HELP mrdserver_trace_spans_total Spans recorded by the tracer.\n# TYPE mrdserver_trace_spans_total counter\nmrdserver_trace_spans_total %d\n", total)
 	fmt.Fprintf(w, "# HELP mrdserver_trace_spans_dropped_total Spans the trace ring overwrote (oldest-first).\n# TYPE mrdserver_trace_spans_dropped_total counter\nmrdserver_trace_spans_dropped_total %d\n", dropped)
@@ -627,21 +806,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // shard dies, its sessions' next requests land here on the successor,
 // which rebuilds them from the shared store. A miss writes 404.
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
-	id := r.PathValue("id")
+	sess, status, err := s.lookupSession(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, status, apiError{Error: err.Error()})
+		return nil, false
+	}
+	return sess, true
+}
+
+// lookupSession is the transport-independent session resolver (the
+// frame server shares it); a miss returns 404, a failed restore 500.
+func (s *Server) lookupSession(ctx context.Context, id string) (*Session, int, error) {
 	sess, ok := s.registry.Get(id)
 	if ok {
-		return sess, true
+		return sess, http.StatusOK, nil
 	}
-	sess, err := s.restoreSession(r.Context(), id)
+	sess, err := s.restoreSession(ctx, id)
 	if err == nil {
-		return sess, true
+		return sess, http.StatusOK, nil
 	}
 	if errors.Is(err, ErrNoSnapshot) {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no session %q", id)})
-	} else {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: fmt.Sprintf("restore session %q: %v", id, err)})
+		return nil, http.StatusNotFound, fmt.Errorf("no session %q", id)
 	}
-	return nil, false
+	return nil, http.StatusInternalServerError, fmt.Errorf("restore session %q: %w", id, err)
 }
 
 // restoreSession adopts a snapshotted session into this server's
@@ -770,6 +957,12 @@ func (s *Server) sendHeartbeats() {
 			s.peers.observe(peer)
 			s.peers.merge(hr.View)
 		}
+		// Drain before closing: json.Decoder stops at the end of the
+		// value, leaving the body's trailing newline unread, and a body
+		// closed with bytes left makes net/http tear the connection down
+		// instead of returning it to the keep-alive pool — every
+		// heartbeat round would pay a fresh TCP handshake per peer.
+		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
 }
@@ -791,23 +984,31 @@ func (s *Server) handlePeers(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.peers.status())
 }
 
-// readJSON decodes the request body, rejecting unknown fields; a
-// failure writes 400 and returns false.
+// maxRequestBody caps request bodies at the shard itself, matched to
+// the router's routerMaxBody so a shard hit directly accepts exactly
+// what a routed request could carry — before this cap a direct hit
+// could stream an unbounded body into the decoder.
+const maxRequestBody = routerMaxBody
+
+// readJSON decodes the request body, rejecting unknown fields and
+// bodies over maxRequestBody; a failure writes 400 (or 413 for an
+// oversized body) and returns false.
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		msg := err.Error()
-		if errors.Is(err, errBodyTooLarge) {
-			msg = "request body too large"
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
 		}
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + strings.TrimSpace(msg)})
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + strings.TrimSpace(err.Error())})
 		return false
 	}
 	return true
 }
-
-var errBodyTooLarge = errors.New("http: request body too large")
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

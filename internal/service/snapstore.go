@@ -25,6 +25,10 @@ type SnapshotStore interface {
 	Save(s *Snapshot) error
 	// Load returns the session's snapshot, or ErrNoSnapshot.
 	Load(sessionID string) (*Snapshot, error)
+	// Has reports whether a snapshot exists without deserializing it —
+	// existence probes (does this session have persisted state to
+	// retire?) must not pay for a full op-log decode.
+	Has(sessionID string) (bool, error)
 	// Delete removes the session's snapshot; absent is not an error.
 	Delete(sessionID string) error
 	// List returns the stored session IDs in sorted order.
@@ -108,6 +112,21 @@ func (d *DirStore) Load(sessionID string) (*Snapshot, error) {
 	return &s, nil
 }
 
+// Has implements SnapshotStore with a stat, never reading the file.
+func (d *DirStore) Has(sessionID string) (bool, error) {
+	if !ValidSessionID(sessionID) {
+		return false, nil
+	}
+	_, err := os.Stat(d.path(sessionID))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // Delete implements SnapshotStore.
 func (d *DirStore) Delete(sessionID string) error {
 	if !ValidSessionID(sessionID) {
@@ -172,6 +191,14 @@ func (m *MemStore) Load(sessionID string) (*Snapshot, error) {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// Has implements SnapshotStore.
+func (m *MemStore) Has(sessionID string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.snaps[sessionID]
+	return ok, nil
 }
 
 // Delete implements SnapshotStore.

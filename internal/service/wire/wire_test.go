@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var e Enc
+	h := Header{Version: Version, Op: OpAdvance, Flags: 0, Epoch: 0xdeadbeef, Seq: 42}
+	e.Begin(h)
+	e.Str("sess-1")
+	e.Uvarint(7)
+	e.Varint(-3)
+	e.U8(0xaa)
+	frame, err := e.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotH, payload, _, err := ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("header round-trip: got %+v want %+v", gotH, h)
+	}
+	d := NewDec(payload)
+	if s := d.Str(); s != "sess-1" {
+		t.Fatalf("str: %q", s)
+	}
+	if v := d.Uvarint(); v != 7 {
+		t.Fatalf("uvarint: %d", v)
+	}
+	if v := d.Varint(); v != -3 {
+		t.Fatalf("varint: %d", v)
+	}
+	if v := d.U8(); v != 0xaa {
+		t.Fatalf("u8: %#x", v)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining: %d", d.Remaining())
+	}
+}
+
+// The read buffer must be reused when big enough and grown when not —
+// and the returned payload must alias it, not a fresh allocation.
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var e Enc
+	e.Begin(Header{Version: Version, Op: OpHello})
+	e.Str("abc")
+	frame, _ := e.Frame()
+
+	buf := make([]byte, 256)
+	_, payload, got, err := ReadFrame(bytes.NewReader(frame), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("big-enough buffer was not reused")
+	}
+	if len(payload) != 4 { // uvarint len + "abc"
+		t.Fatalf("payload len %d", len(payload))
+	}
+
+	_, _, grown, err := ReadFrame(bytes.NewReader(frame), make([]byte, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(grown) < HeaderLen+4 {
+		t.Fatalf("buffer did not grow: cap %d", cap(grown))
+	}
+}
+
+func TestReadFrameRejectsBadLengths(t *testing.T) {
+	over := make([]byte, 4)
+	binary.BigEndian.PutUint32(over, MaxFrame+1)
+	if _, _, _, err := ReadFrame(bytes.NewReader(over), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+	under := make([]byte, 4)
+	binary.BigEndian.PutUint32(under, HeaderLen-1)
+	if _, _, _, err := ReadFrame(bytes.NewReader(under), nil); !errors.Is(err, ErrFrameTooSmall) {
+		t.Fatalf("undersized: %v", err)
+	}
+	// A frame cut off mid-header is an unexpected EOF, not a silent nil.
+	var e Enc
+	e.Begin(Header{Version: Version, Op: OpHello})
+	frame, _ := e.Frame()
+	if _, _, _, err := ReadFrame(bytes.NewReader(frame[:10]), nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestEncFrameTooLarge(t *testing.T) {
+	var e Enc
+	e.Begin(Header{Version: Version, Op: OpCreate})
+	e.Raw(make([]byte, MaxFrame))
+	if _, err := e.Frame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+// Every decode primitive must latch ErrTruncated on a short payload
+// instead of panicking or returning garbage silently.
+func TestDecStickyError(t *testing.T) {
+	d := NewDec([]byte{0x05, 'a'}) // claims 5 bytes, has 1
+	if b := d.Bytes(); b != nil {
+		t.Fatalf("short Bytes returned %q", b)
+	}
+	if err := d.Err(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	// Error is sticky: later reads keep failing cheaply.
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("post-error Uvarint: %d", v)
+	}
+
+	d = NewDec([]byte{0xff}) // unterminated varint
+	d.Uvarint()
+	if err := d.Err(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("unterminated varint: %v", err)
+	}
+
+	d = NewDec(nil)
+	d.U8()
+	if err := d.Err(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty U8: %v", err)
+	}
+}
+
+// A connection's worth of pipelined frames decodes in sequence off one
+// reader with one reused buffer.
+func TestPipelinedFrames(t *testing.T) {
+	var stream bytes.Buffer
+	var e Enc
+	for i := 0; i < 5; i++ {
+		e.Begin(Header{Version: Version, Op: OpAdvance, Seq: uint64(i)})
+		e.Uvarint(uint64(i * 10))
+		frame, err := e.Frame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(frame)
+	}
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		h, payload, nbuf, err := ReadFrame(&stream, buf)
+		buf = nbuf
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Seq != uint64(i) {
+			t.Fatalf("frame %d: seq %d", i, h.Seq)
+		}
+		d := NewDec(payload)
+		if v := d.Uvarint(); v != uint64(i*10) {
+			t.Fatalf("frame %d: value %d", i, v)
+		}
+	}
+	if _, _, _, err := ReadFrame(&stream, buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("want clean EOF after last frame, got %v", err)
+	}
+}
