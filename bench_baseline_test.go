@@ -52,6 +52,7 @@ var baselineBenchmarks = []struct {
 	{"BenchmarkSimulateSCC", BenchmarkSimulateSCC},
 	{"BenchmarkSimulateSCCLRU", BenchmarkSimulateSCCLRU},
 	{"BenchmarkSimulateSCCObserved", BenchmarkSimulateSCCObserved},
+	{"BenchmarkExecSCC", BenchmarkExecSCC},
 	{"BenchmarkObsEmitDisabled", BenchmarkObsEmitDisabled},
 	{"BenchmarkServiceSession", BenchmarkServiceSession},
 	{"BenchmarkServiceSessionWire", BenchmarkServiceSessionWire},

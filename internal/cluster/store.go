@@ -12,7 +12,16 @@ import (
 // a byte-capacity-bounded set of blocks whose evictions are decided by
 // the attached policy. It is the component every cache policy
 // ultimately drives.
+//
+// A mutex guards every method, making the store safe for concurrent
+// use: the single-threaded simulator never contends, but the execution
+// engine's worker goroutines consult residency (and a node kill wipes
+// the store) while other executors run. The per-node policy is only
+// ever called from inside store methods, so the store lock also
+// serializes all policy callbacks — policies themselves stay
+// single-threaded, as their contract requires.
 type MemoryStore struct {
+	mu       sync.Mutex
 	capacity int64
 	used     int64
 	blocks   map[block.ID]block.Info
@@ -41,16 +50,30 @@ func NewMemoryStore(capacity int64, pol policy.Policy) *MemoryStore {
 func (s *MemoryStore) Capacity() int64 { return s.capacity }
 
 // Used returns the bytes currently occupied.
-func (s *MemoryStore) Used() int64 { return s.used }
+func (s *MemoryStore) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
 
 // Free returns the unoccupied bytes.
-func (s *MemoryStore) Free() int64 { return s.capacity - s.used }
+func (s *MemoryStore) Free() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity - s.used
+}
 
 // Len returns the number of resident blocks.
-func (s *MemoryStore) Len() int { return len(s.blocks) }
+func (s *MemoryStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}
 
 // Contains reports residency without touching policy state.
 func (s *MemoryStore) Contains(id block.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	_, ok := s.blocks[id]
 	return ok
 }
@@ -58,6 +81,8 @@ func (s *MemoryStore) Contains(id block.ID) bool {
 // Get reports a read: on a hit the policy's recency/accounting hooks
 // fire and Get returns true.
 func (s *MemoryStore) Get(id block.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.blocks[id]; !ok {
 		return false
 	}
@@ -72,6 +97,8 @@ func (s *MemoryStore) Get(id block.ID) bool {
 // likewise refuses to cache oversized blocks). Re-inserting a resident
 // block is a no-op touch.
 func (s *MemoryStore) Put(info block.Info) (evicted []block.Info, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, resident := s.blocks[info.ID]; resident {
 		s.pol.OnAccess(info.ID)
 		return nil, true
@@ -105,6 +132,8 @@ func (s *MemoryStore) Put(info block.Info) (evicted []block.Info, ok bool) {
 // the arrival path for arbitrated prefetches: a prefetch should not
 // displace blocks the policy considers at least as valuable.
 func (s *MemoryStore) PutGuarded(info block.Info, allow func(victim block.ID) bool) (evicted []block.Info, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, resident := s.blocks[info.ID]; resident {
 		s.pol.OnAccess(info.ID)
 		return nil, true
@@ -114,7 +143,7 @@ func (s *MemoryStore) PutGuarded(info block.Info, allow func(victim block.ID) bo
 	}
 	picked := map[block.ID]bool{}
 	var plan []block.Info
-	freed := s.Free()
+	freed := s.capacity - s.used
 	for freed < info.Size {
 		victim, found := s.pol.Victim(func(v block.ID) bool {
 			return v != info.ID && !picked[v]
@@ -141,6 +170,8 @@ func (s *MemoryStore) PutGuarded(info block.Info, allow func(victim block.ID) bo
 // (purge orders, failure injection). It reports whether the block was
 // resident.
 func (s *MemoryStore) Remove(id block.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	info, ok := s.blocks[id]
 	if !ok {
 		return false
@@ -151,6 +182,8 @@ func (s *MemoryStore) Remove(id block.ID) bool {
 
 // Clear empties the store (node failure).
 func (s *MemoryStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for id, info := range s.blocks {
 		_ = id
 		s.dropLocked(info)
@@ -167,6 +200,8 @@ func (s *MemoryStore) dropLocked(info block.Info) {
 // SetReplicaCount records how many off-node disk replicas a resident
 // block currently has; non-resident blocks are ignored.
 func (s *MemoryStore) SetReplicaCount(id block.ID, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.blocks[id]; !ok {
 		return
 	}
@@ -182,11 +217,17 @@ func (s *MemoryStore) SetReplicaCount(id block.ID, n int) {
 
 // ReplicaCount returns the recorded off-node replica count for the
 // block (0 when unknown or non-resident).
-func (s *MemoryStore) ReplicaCount(id block.ID) int { return s.replicas[id] }
+func (s *MemoryStore) ReplicaCount(id block.ID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replicas[id]
+}
 
 // Blocks returns a snapshot of resident block IDs (test helper; order
 // unspecified).
 func (s *MemoryStore) Blocks() []block.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]block.ID, 0, len(s.blocks))
 	for id := range s.blocks {
 		out = append(out, id)

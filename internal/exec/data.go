@@ -1,0 +1,217 @@
+// Package exec is the real data plane: a master/worker execution
+// runtime that actually runs the DAG's operators over deterministically
+// generated partitioned data, with the live cluster BlockManager —
+// memory stores driven by the configured cache policy, spill-to-disk
+// under pressure, shuffle write/read between stages, and lineage
+// recompute on worker loss — standing where the simulator only models
+// one. The cache-decision phase at every stage boundary mirrors the
+// online Advisor's semantics exactly (DESIGN.md §9), so an executed
+// run's decision stream is directly comparable, byte for byte, with
+// the simulator's and the advisor's: the sim is the oracle for the
+// engine, and the engine is the measured ground truth for the sim.
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"mrdspark/internal/dag"
+)
+
+// Row is one key/value record of an executed partition. Keys drive
+// shuffle partitioning, joins and aggregations; values carry the
+// payload the narrow operators transform. Both are opaque 64-bit
+// words: cache management cares about data volume and movement, not
+// arithmetic meaning, but every transformation is a pure function so
+// recomputed partitions are byte-identical to their first run.
+type Row struct {
+	Key uint64
+	Val uint64
+}
+
+// rowBytes is the encoded size of one Row.
+const rowBytes = 16
+
+// DefaultRows is the number of rows generated per source partition
+// when workload.Params.DataRows is zero — small enough that full
+// workloads execute in milliseconds, large enough that shuffles, joins
+// and aggregations do real work.
+const DefaultRows = 512
+
+// DefaultSkew is the hot-key fraction when workload.Params.DataSkew is
+// zero: a fifth of all rows land on a 16-key hot set, giving
+// reduce-side skew without degenerate partitions.
+const DefaultSkew = 0.2
+
+// hotKeys is the size of the skewed hot-key set.
+const hotKeys = 16
+
+// keySpace bounds uniformly drawn keys.
+const keySpace = 1 << 20
+
+// splitmix64 is the project-standard bit mixer (same finalizer the
+// fault RNG and shard router use): a bijective avalanche over one
+// 64-bit word.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// mixVal is the value transformation every narrow "compute" applies: a
+// cheap, invertibility-free scramble standing in for the numerical
+// kernel (whose specific math is irrelevant to cache behaviour, but
+// whose determinism is load-bearing for lineage recompute).
+func mixVal(v uint64) uint64 { return splitmix64(v ^ 0xC2B2AE3D27D4EB4F) }
+
+// GenPartition deterministically generates partition part of a source
+// RDD: rows key/value pairs drawn from a splitmix64 stream seeded by
+// (seed, rdd, part). skew is the probability a row's key comes from
+// the hot set. The result is a pure function of its arguments — the
+// engine's "HDFS": re-reading a source partition always yields the
+// same bytes.
+func GenPartition(seed int64, rdd, part, rows int, skew float64) []Row {
+	if rows <= 0 {
+		rows = DefaultRows
+	}
+	if skew <= 0 {
+		skew = DefaultSkew
+	}
+	if skew >= 1 {
+		skew = 1
+	}
+	// Hot-key threshold on the raw 64-bit draw avoids float state in
+	// the stream itself; the comparison is exact and deterministic.
+	threshold := uint64(float64(^uint64(0)) * skew)
+	x := splitmix64(uint64(seed)) ^ splitmix64(uint64(rdd)<<20|uint64(part))
+	out := make([]Row, rows)
+	for i := range out {
+		x = splitmix64(x)
+		draw := x
+		x = splitmix64(x)
+		var key uint64
+		if draw < threshold {
+			key = x % hotKeys
+		} else {
+			key = x % keySpace
+		}
+		x = splitmix64(x)
+		out[i] = Row{Key: key, Val: x}
+	}
+	return out
+}
+
+// EncodeRows renders rows in the canonical little-endian wire form the
+// block manager stores and the digests cover.
+func EncodeRows(rows []Row) []byte {
+	out := make([]byte, len(rows)*rowBytes)
+	for i, r := range rows {
+		binary.LittleEndian.PutUint64(out[i*rowBytes:], r.Key)
+		binary.LittleEndian.PutUint64(out[i*rowBytes+8:], r.Val)
+	}
+	return out
+}
+
+// DecodeRows parses the canonical encoding back into rows.
+func DecodeRows(b []byte) ([]Row, error) {
+	if len(b)%rowBytes != 0 {
+		return nil, fmt.Errorf("exec: %d bytes is not a whole number of rows", len(b))
+	}
+	out := make([]Row, len(b)/rowBytes)
+	for i := range out {
+		out[i].Key = binary.LittleEndian.Uint64(b[i*rowBytes:])
+		out[i].Val = binary.LittleEndian.Uint64(b[i*rowBytes+8:])
+	}
+	return out, nil
+}
+
+// DigestRows returns the FNV-64a digest of the canonical encoding —
+// the unit the golden tests pin and the kill-parity leg compares.
+func DigestRows(rows []Row) uint64 {
+	h := fnv.New64a()
+	var buf [rowBytes]byte
+	for _, r := range rows {
+		binary.LittleEndian.PutUint64(buf[:8], r.Key)
+		binary.LittleEndian.PutUint64(buf[8:], r.Val)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// combineDigests folds per-partition digests (in partition order) into
+// one job- or RDD-level digest.
+func combineDigests(parts []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, d := range parts {
+		binary.LittleEndian.PutUint64(buf[:], d)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// sortRows orders rows by (Key, Val) — the canonical order every
+// shuffle output is materialized in, which is what makes reduce-side
+// results independent of bucket arrival order.
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Key != rows[j].Key {
+			return rows[i].Key < rows[j].Key
+		}
+		return rows[i].Val < rows[j].Val
+	})
+}
+
+// bucketOf returns the reduce partition a key shuffles to.
+func bucketOf(key uint64, parts int) int {
+	return int(splitmix64(key) % uint64(parts))
+}
+
+// dataSeed resolves the engine's generation seed for a graph built
+// with the given workload seed.
+func dataSeed(seed int64) int64 {
+	if seed == 0 {
+		return 1 // keep generation distinct from the zero stream
+	}
+	return seed
+}
+
+// narrowParents returns the partition indices of parent that feed
+// partition p of an RDD with childParts partitions through a narrow
+// one-to-one-ish dependency. Same partition counts map identically;
+// a repartitioning narrow edge gathers the proportional range (and a
+// widening one duplicates the floor partition) — any fixed rule works,
+// determinism is what matters.
+func narrowParents(parentParts, childParts, p int) []int {
+	if parentParts == childParts {
+		return []int{p}
+	}
+	lo := p * parentParts / childParts
+	hi := (p + 1) * parentParts / childParts
+	if hi <= lo {
+		return []int{lo}
+	}
+	out := make([]int, 0, hi-lo)
+	for q := lo; q < hi; q++ {
+		out = append(out, q)
+	}
+	return out
+}
+
+// unionSlot maps partition p of a union RDD onto (dependency index,
+// parent partition) under the concatenation layout dag.Union uses.
+func unionSlot(deps []dag.Dependency, p int) (depIdx, parentPart int) {
+	for i, d := range deps {
+		if p < d.Parent.NumPartitions {
+			return i, p
+		}
+		p -= d.Parent.NumPartitions
+	}
+	// Partition count drifted from the concatenation layout (possible
+	// only through WithPartitions on a union, which no workload does);
+	// fall back to the first parent modulo its width.
+	return 0, p % deps[0].Parent.NumPartitions
+}

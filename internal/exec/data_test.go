@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"testing"
+)
+
+// TestGenPartitionGoldens pins the generated data: if these digests
+// move, every executed workload's outputs, shuffles and goldens move
+// with them — which is exactly the seed-stability the run cache and
+// the sim-vs-exec differential legs depend on.
+func TestGenPartitionGoldens(t *testing.T) {
+	cases := []struct {
+		name             string
+		seed             int64
+		rdd, part, rows  int
+		skew             float64
+		want             uint64
+	}{
+		{"defaults", 1, 0, 0, 0, 0, 0x608341f78a80b2ed},
+		{"defaults-part1", 1, 0, 1, 0, 0, 0x9c8b45c9acf0a6e6},
+		{"defaults-rdd2", 1, 2, 0, 0, 0, 0x74aca3f23e39accc},
+		{"seed42", 42, 0, 0, 0, 0, 0x75b3edc9daee0cec},
+		{"rows64", 1, 0, 0, 64, 0, 0x22b1e8374af95b80},
+		{"uniform-ish", 7, 3, 2, 128, 0.01, 0xaf02abb6ce9418d7},
+		{"heavy-skew", 7, 3, 2, 128, 0.9, 0x598a4c3c05a79f2a},
+	}
+	for _, c := range cases {
+		got := DigestRows(GenPartition(c.seed, c.rdd, c.part, c.rows, c.skew))
+		if got != c.want {
+			t.Errorf("%s: digest %#x, want %#x", c.name, got, c.want)
+		}
+	}
+}
+
+// TestGenPartitionProperties checks the distribution knobs do what the
+// engine assumes: determinism, row count, and that skew concentrates
+// keys on the hot set.
+func TestGenPartitionProperties(t *testing.T) {
+	a := GenPartition(3, 1, 0, 1000, 0.5)
+	b := GenPartition(3, 1, 0, 1000, 0.5)
+	if len(a) != 1000 {
+		t.Fatalf("got %d rows, want 1000", len(a))
+	}
+	if DigestRows(a) != DigestRows(b) {
+		t.Fatal("same parameters produced different rows")
+	}
+	hot := 0
+	for _, r := range a {
+		if r.Key < hotKeys {
+			hot++
+		}
+	}
+	if hot < 400 || hot > 600 {
+		t.Errorf("skew 0.5 put %d/1000 rows on the hot set, want ~500", hot)
+	}
+	uni := GenPartition(3, 1, 0, 1000, 0.001)
+	hot = 0
+	for _, r := range uni {
+		if r.Key < hotKeys {
+			hot++
+		}
+	}
+	if hot > 100 {
+		t.Errorf("near-uniform draw put %d/1000 rows on the hot set", hot)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rows := GenPartition(9, 4, 2, 33, 0.3)
+	enc := EncodeRows(rows)
+	if len(enc) != 33*rowBytes {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), 33*rowBytes)
+	}
+	dec, err := DecodeRows(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DigestRows(dec) != DigestRows(rows) {
+		t.Fatal("round trip changed the rows")
+	}
+	if _, err := DecodeRows(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated encoding decoded without error")
+	}
+}
+
+func TestNarrowParents(t *testing.T) {
+	cases := []struct {
+		parent, child, p int
+		want             []int
+	}{
+		{4, 4, 2, []int{2}},
+		{8, 4, 1, []int{2, 3}},
+		{4, 8, 5, []int{2}},
+		{6, 4, 0, []int{0}},
+		{6, 4, 3, []int{4, 5}},
+	}
+	for _, c := range cases {
+		got := narrowParents(c.parent, c.child, c.p)
+		if len(got) != len(c.want) {
+			t.Errorf("narrowParents(%d,%d,%d) = %v, want %v", c.parent, c.child, c.p, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("narrowParents(%d,%d,%d) = %v, want %v", c.parent, c.child, c.p, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestBucketOfStable(t *testing.T) {
+	for parts := 1; parts <= 8; parts++ {
+		for key := uint64(0); key < 64; key++ {
+			q := bucketOf(key, parts)
+			if q < 0 || q >= parts {
+				t.Fatalf("bucketOf(%d,%d) = %d out of range", key, parts, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/dag"
+	"mrdspark/internal/experiments"
+	"mrdspark/internal/obs"
+	"mrdspark/internal/policy"
+	"mrdspark/internal/service"
+	"mrdspark/internal/workload"
+)
+
+// Engine defaults.
+const (
+	DefaultWorkers    = 4
+	DefaultCacheBytes = 64 * cluster.MB
+)
+
+// KillSpec injects a worker loss into a run — the chaos path that
+// exercises lineage recompute.
+type KillSpec struct {
+	// Worker is the worker index to kill.
+	Worker int
+	// Stage is the executed-stage ID the kill is tied to.
+	Stage int
+	// Mid kills the worker while the stage's task wave is running (the
+	// first task to complete pulls the trigger): its bytes and shuffle
+	// output vanish under the feet of concurrent tasks, which recover
+	// through lineage recompute, and the cache accounting learns of the
+	// loss at the next stage boundary — like a SIGKILLed executor whose
+	// death the master only observes on the next heartbeat. When false
+	// the kill lands deterministically at the stage's boundary, before
+	// its decisions: both planes are wiped at once, so two runs with
+	// the same KillSpec produce byte-identical decision fingerprints.
+	Mid bool
+}
+
+// Config shapes one execution: the cluster (workers, per-worker cache
+// budget), the cache policy advising the live stores, and optional
+// chaos. Data-plane parameters (rows per partition, key skew, seed)
+// come from the workload spec's Params.
+type Config struct {
+	// Workers is the worker count; 0 means DefaultWorkers. Each worker
+	// is one goroutine with one memory/disk store pair, and block
+	// placement follows cluster.HomeNode over this count.
+	Workers int
+	// CacheBytes is the per-worker memory-store capacity; 0 means
+	// DefaultCacheBytes.
+	CacheBytes int64
+	// Policy selects the cache policy; the zero value means MRD.
+	Policy experiments.PolicySpec
+	// Kill, when non-nil, kills a worker during the run.
+	Kill *KillSpec
+}
+
+// Result is one executed run: the measured wall-clock JCT, the
+// decision-plane totals (the same counters the Advisor models), the
+// data-plane counters only a real execution can measure, and the
+// output digests the determinism and kill-parity checks compare.
+type Result struct {
+	Workload string
+	Policy   string
+	Workers  int
+
+	// JCT is the measured wall-clock job-completion time.
+	JCT time.Duration
+
+	// Counters sums the per-stage decision counters; History holds the
+	// per-stage advice, whose fingerprints are directly comparable with
+	// service.Replay's.
+	Counters service.Counters
+	History  []service.Advice
+
+	// JobDigests holds one output digest per job (over the result
+	// stage's partitions, in partition order); OutputDigest folds them.
+	JobDigests   []uint64
+	OutputDigest uint64
+
+	// Data-plane counters.
+	TasksRun          int64 // tasks executed (retries included)
+	TaskRetries       int64 // tasks re-run because their worker died under them
+	Spills            int64 // blocks whose bytes moved (or landed) on disk under memory pressure
+	SpillBytes        int64
+	ShuffleBytes      int64 // bucket bytes read by reduce tasks
+	RemoteFetches     int64 // cached-block and bucket reads served by another worker
+	LineageRecomputes int64 // blocks/map outputs recomputed because their bytes were gone
+
+	// Prefetch ledger (issued == used + wasted + pending).
+	PrefetchIssued, PrefetchUsed, PrefetchWasted, PrefetchPending int64
+}
+
+// shuffleInfo is the engine's registry entry for one shuffle: the map
+// stage that writes it and the two partition counts that shape its
+// bucket matrix.
+type shuffleInfo struct {
+	id          int
+	mapStage    *dag.Stage
+	mapParts    int
+	reduceParts int
+}
+
+// Engine executes one workload: a master (the caller of Run) that
+// walks the DAG's stage graph, makes cache decisions on the live
+// stores at every stage boundary, and schedules tasks onto worker
+// goroutines that move real bytes. Not safe for concurrent use; Run
+// may be called once.
+type Engine struct {
+	spec    *workload.Spec
+	graph   *dag.Graph
+	cfg     Config
+	factory policy.Factory
+	nodes   []*node
+
+	stageObs policy.StageObserver
+	jobObs   policy.JobObserver
+	failObs  policy.NodeFailureObserver
+
+	stages   map[int]*dag.Stage
+	shuffles map[int]*shuffleInfo
+
+	// created marks cached RDDs materialized at some past boundary;
+	// curCreates marks the ones the current stage materializes. Both
+	// are written only between task waves.
+	created    map[int]bool
+	curCreates map[int]bool
+
+	seed int64
+	rows int
+	skew float64
+
+	cur     *service.Advice
+	history []service.Advice
+	nextJob int
+
+	pfIssued, pfUsed, pfWaste int64
+
+	bus   *obs.Bus
+	start time.Time
+
+	workerCh []chan func()
+
+	// Kill state. killApplied covers the accounting half; midArmed is
+	// the loaded trigger a completing task of the kill stage fires;
+	// pendingFail defers the accounting half of a mid-stage kill to the
+	// next boundary.
+	killApplied bool
+	midArmed    chan struct{}
+	midFired    bool
+	pendingFail bool
+
+	ctr counters
+
+	flights flightGroup
+
+	jobDigests []uint64
+}
+
+// counters is the data-plane tally, mutated under mu by worker
+// goroutines (coarse enough that a single mutex beats per-field
+// atomics for clarity).
+type counters struct {
+	mu                sync.Mutex
+	tasksRun          int64
+	taskRetries       int64
+	spills            int64
+	spillBytes        int64
+	shuffleBytes      int64
+	remoteFetches     int64
+	lineageRecomputes int64
+}
+
+func (c *counters) add(f func(*counters)) {
+	c.mu.Lock()
+	f(c)
+	c.mu.Unlock()
+}
+
+// New builds an engine over the workload. The policy factory is
+// instantiated against the graph exactly as the simulator and the
+// advisor instantiate it, and cluster-aware policies are attached to
+// the engine's live stores.
+func New(spec *workload.Spec, cfg Config) (*Engine, error) {
+	if spec == nil || spec.Graph == nil {
+		return nil, fmt.Errorf("exec: nil workload")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.Policy.Kind == "" {
+		cfg.Policy.Kind = "MRD"
+	}
+	if cfg.Workers < 1 || cfg.CacheBytes < 0 {
+		return nil, fmt.Errorf("exec: bad cluster shape (workers=%d, cacheBytes=%d)", cfg.Workers, cfg.CacheBytes)
+	}
+	factory, err := buildFactory(cfg.Policy, spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		spec:     spec,
+		graph:    spec.Graph,
+		cfg:      cfg,
+		factory:  factory,
+		stages:   map[int]*dag.Stage{},
+		shuffles: map[int]*shuffleInfo{},
+		created:  map[int]bool{},
+		seed:     dataSeed(spec.Params.Seed),
+		rows:     spec.Params.DataRows,
+		skew:     spec.Params.DataSkew,
+		bus:      obs.New(),
+	}
+	for _, s := range e.graph.ExecutedStages() {
+		e.stages[s.ID] = s
+		if s.Kind == dag.ShuffleMap {
+			e.shuffles[s.ShuffleID] = &shuffleInfo{id: s.ShuffleID, mapStage: s, mapParts: s.NumTasks}
+		}
+	}
+	for _, r := range e.graph.RDDs {
+		for _, d := range r.Deps {
+			if d.Type == dag.Shuffle {
+				if si, ok := e.shuffles[d.ShuffleID]; ok {
+					si.reduceParts = r.NumPartitions
+				}
+			}
+		}
+	}
+	e.stageObs, _ = factory.(policy.StageObserver)
+	e.jobObs, _ = factory.(policy.JobObserver)
+	e.failObs, _ = factory.(policy.NodeFailureObserver)
+	if ca, ok := factory.(policy.ClusterAware); ok {
+		ca.Attach(execOps{e})
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.nodes = append(e.nodes, newNode(i, cfg.CacheBytes, factory.NewNodePolicy(i)))
+	}
+	if k := cfg.Kill; k != nil {
+		if k.Worker < 0 || k.Worker >= cfg.Workers {
+			return nil, fmt.Errorf("exec: kill worker %d out of range [0,%d)", k.Worker, cfg.Workers)
+		}
+		if _, ok := e.stages[k.Stage]; !ok {
+			return nil, fmt.Errorf("exec: kill stage %d is not an executed stage", k.Stage)
+		}
+	}
+	return e, nil
+}
+
+// buildFactory instantiates the policy spec against the DAG, mapping
+// the panic-on-unknown contract of experiments.PolicySpec.Factory into
+// an error — the same wrapping the advisory tier applies, so both
+// construct policies identically.
+func buildFactory(spec experiments.PolicySpec, g *dag.Graph) (f policy.Factory, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: %v", r)
+		}
+	}()
+	return spec.Factory(&workload.Spec{Graph: g}), nil
+}
+
+// AttachBus connects the run (and a bus-aware policy) to an
+// observability bus. All events are emitted from the master goroutine;
+// the engine stamps them with the elapsed wall-clock microseconds.
+func (e *Engine) AttachBus(b *obs.Bus) {
+	e.bus = b
+	if at, ok := e.factory.(obs.Attacher); ok {
+		at.AttachBus(b)
+	}
+}
+
+// PolicyName returns the instantiated policy's display name.
+func (e *Engine) PolicyName() string { return e.factory.Name() }
+
+// History returns the per-stage decision log (valid after Run).
+func (e *Engine) History() []service.Advice { return e.history }
+
+// PrefetchLedger returns the run's prefetch conservation counters.
+func (e *Engine) PrefetchLedger() (issued, used, wasted, pending int64) {
+	for _, n := range e.nodes {
+		pending += int64(len(n.prefetched))
+	}
+	return e.pfIssued, e.pfUsed, e.pfWaste, pending
+}
+
+// Run executes the whole application — every job, stage by stage — and
+// returns the measured result.
+func (e *Engine) Run() (Result, error) {
+	e.start = time.Now()
+	e.bus.SetClock(func() int64 { return time.Since(e.start).Microseconds() })
+	e.jobDigests = make([]uint64, len(e.graph.Jobs))
+
+	e.workerCh = make([]chan func(), len(e.nodes))
+	var workerWG sync.WaitGroup
+	for i := range e.workerCh {
+		ch := make(chan func())
+		e.workerCh[i] = ch
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for fn := range ch {
+				fn()
+			}
+		}()
+	}
+	defer func() {
+		for _, ch := range e.workerCh {
+			close(ch)
+		}
+		workerWG.Wait()
+	}()
+
+	for _, st := range service.Schedule(e.graph) {
+		if st.Stage < 0 {
+			if err := e.submitJob(st.Job); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+		if err := e.runStage(e.stages[st.Stage]); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{
+		Workload:   e.spec.Name,
+		Policy:     e.factory.Name(),
+		Workers:    len(e.nodes),
+		JCT:        time.Since(e.start),
+		History:    e.history,
+		JobDigests: e.jobDigests,
+	}
+	res.OutputDigest = combineDigests(e.jobDigests)
+	for _, a := range e.history {
+		res.Counters.Hits += a.Counters.Hits
+		res.Counters.Misses += a.Counters.Misses
+		res.Counters.Promotes += a.Counters.Promotes
+		res.Counters.Recomputes += a.Counters.Recomputes
+		res.Counters.Inserts += a.Counters.Inserts
+		res.Counters.Evictions += a.Counters.Evictions
+		res.Counters.Purged += a.Counters.Purged
+		res.Counters.Prefetches += a.Counters.Prefetches
+	}
+	res.TasksRun = e.ctr.tasksRun
+	res.TaskRetries = e.ctr.taskRetries
+	res.Spills = e.ctr.spills
+	res.SpillBytes = e.ctr.spillBytes
+	res.ShuffleBytes = e.ctr.shuffleBytes
+	res.RemoteFetches = e.ctr.remoteFetches
+	res.LineageRecomputes = e.ctr.lineageRecomputes
+	res.PrefetchIssued, res.PrefetchUsed, res.PrefetchWasted, res.PrefetchPending = e.PrefetchLedger()
+	return res, nil
+}
+
+// submitJob feeds the next job's DAG to the policy, mirroring the
+// advisor's SubmitJob (jobs arrive in ID order by construction of the
+// canonical schedule).
+func (e *Engine) submitJob(jobID int) error {
+	if jobID != e.nextJob {
+		return fmt.Errorf("exec: job %d out of order (next is %d)", jobID, e.nextJob)
+	}
+	if e.jobObs != nil {
+		e.jobObs.OnJobSubmit(e.graph.Jobs[jobID])
+	}
+	e.nextJob++
+	return nil
+}
+
+// runStage executes one stage: the boundary decision phase on the
+// master, then the task wave across the workers, then output
+// collection.
+func (e *Engine) runStage(s *dag.Stage) error {
+	// StageStart goes out before the boundary decisions so the
+	// aggregator binds them (and the kill bookkeeping) to this stage's
+	// entry, the way the simulator orders its stream.
+	e.bus.SetStage(s.ID, s.FirstJob.ID)
+	e.bus.Emit(obs.Ev(obs.KindStageStart, obs.ClusterScope).
+		WithValue(int64(s.NumTasks)).WithVerdict(s.Kind.String()))
+	e.advance(s)
+	stageStart := time.Now()
+
+	if k := e.cfg.Kill; k != nil && k.Mid && k.Stage == s.ID && !e.midFired {
+		e.midArmed = make(chan struct{}, 1)
+		e.midArmed <- struct{}{}
+		e.midFired = true
+	}
+
+	workers := make([]int, s.NumTasks)
+	for t := 0; t < s.NumTasks; t++ {
+		workers[t] = cluster.HomePartition(t, len(e.nodes))
+		e.bus.Emit(obs.Ev(obs.KindTaskStart, workers[t]))
+	}
+
+	digests := make([]uint64, s.NumTasks)
+	durs := make([]int64, s.NumTasks)
+	var wg sync.WaitGroup
+	for t := 0; t < s.NumTasks; t++ {
+		t := t
+		wg.Add(1)
+		e.workerCh[workers[t]] <- func() {
+			defer wg.Done()
+			digests[t], durs[t] = e.runTask(s, t, workers[t])
+		}
+	}
+	wg.Wait()
+	e.flights.reset()
+
+	for t := 0; t < s.NumTasks; t++ {
+		e.bus.Emit(obs.Ev(obs.KindTaskEnd, workers[t]).WithValue(durs[t]))
+	}
+	e.bus.Emit(obs.Ev(obs.KindStageEnd, obs.ClusterScope).
+		WithValue(time.Since(stageStart).Microseconds()))
+
+	if s.Kind == dag.Result {
+		e.jobDigests[s.FirstJob.ID] = combineDigests(digests)
+	}
+	return nil
+}

@@ -58,6 +58,21 @@ type Params struct {
 	// the paper's prefetching presumes (DESIGN.md §4); this switch
 	// drives the storage-level study.
 	MemoryOnly bool
+
+	// DataRows and DataSkew parameterize the *executed* data plane
+	// (internal/exec): the number of key/value rows generated per
+	// source partition and the fraction of rows drawn from a small hot
+	// key set (0 = uniform keys). Generation is a pure function of
+	// (Seed, RDD, partition, DataRows, DataSkew), so executed inputs —
+	// and therefore every operator output and shuffle — are
+	// byte-identical across runs with equal Params. The simulator
+	// ignores both fields, but they live here so the experiment run
+	// cache (keyed on the whole Params struct) distinguishes runs over
+	// different data shapes. Zero means the engine default (see
+	// exec.DefaultRows).
+	DataRows int
+	// DataSkew is the hot-key probability in [0,1); see DataRows.
+	DataSkew float64
 }
 
 // Spec is a generated workload: its DAG plus the metadata experiments
