@@ -62,6 +62,8 @@ var baselineBenchmarks = []struct {
 	{"BenchmarkServiceStatusUntraced", BenchmarkServiceStatusUntraced},
 	{"BenchmarkServiceStatusTraced", BenchmarkServiceStatusTraced},
 	{"BenchmarkTraceSpanDisabled", BenchmarkTraceSpanDisabled},
+	{"BenchmarkSweepGridCold", BenchmarkSweepGridCold},
+	{"BenchmarkSweepGridWarm", BenchmarkSweepGridWarm},
 }
 
 func TestWriteBenchBaseline(t *testing.T) {

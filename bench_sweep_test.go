@@ -1,0 +1,68 @@
+package mrdspark
+
+// Benchmarks for the sweep fabric: the cold path (every grid point
+// simulated) and the warm path (every point replayed from the memoized
+// run cache). The gap between the two is the value of the persistent
+// cache — a warm re-run of the full grid should cost aggregation and
+// rendering, not simulation.
+
+import (
+	"testing"
+
+	"mrdspark/internal/cluster"
+	"mrdspark/internal/experiments"
+)
+
+// benchSweepConfig is a small fixed grid (12 points) so the cold
+// benchmark stays affordable while still crossing every axis.
+func benchSweepConfig() experiments.SweepConfig {
+	return experiments.SweepConfig{
+		Workloads: []string{"KM", "CC"},
+		Seeds:     []int64{0},
+		Clusters:  []cluster.Config{cluster.Main()},
+		Fractions: []float64{0.6},
+		Policies:  []experiments.PolicySpec{experiments.SpecLRU, experiments.SpecLRC, experiments.SpecMRD},
+		Presets:   []string{"healthy", "crash"},
+		Repls:     []int{1},
+	}
+}
+
+func BenchmarkSweepGridCold(b *testing.B) {
+	cfg := benchSweepConfig()
+	want := len(cfg.Grid())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
+		res, err := experiments.RunSweep(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != want {
+			b.Fatalf("sweep produced %d rows, want %d", len(res.Rows), want)
+		}
+	}
+	b.StopTimer()
+	experiments.ResetRunCache()
+}
+
+func BenchmarkSweepGridWarm(b *testing.B) {
+	cfg := benchSweepConfig()
+	want := len(cfg.Grid())
+	experiments.ResetRunCache()
+	if _, err := experiments.RunSweep(cfg, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSweep(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != want {
+			b.Fatalf("sweep produced %d rows, want %d", len(res.Rows), want)
+		}
+	}
+	b.StopTimer()
+	experiments.ResetRunCache()
+}

@@ -8,6 +8,17 @@
 //	experiments -list          # list experiment IDs
 //	experiments -only fig4,fig7
 //	experiments -out results.txt
+//
+// Sweep mode runs the full policy x workload x cluster x chaos grid
+// through the sharded experiment fabric and writes one consolidated
+// HTML report:
+//
+//	experiments -sweep                          # full grid, GOMAXPROCS workers
+//	experiments -sweep -sweep-grid smoke        # reduced CI grid
+//	experiments -sweep -cache-dir .sweep-cache  # persistent cross-process run cache
+//	experiments -sweep -sweep-shard 0/2 -sweep-shard-out s0.json
+//	experiments -sweep -sweep-shard 1/2 -sweep-shard-out s1.json
+//	experiments -sweep-merge s0.json,s1.json    # merge once, render the report
 package main
 
 import (
@@ -16,6 +27,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"mrdspark/internal/experiments"
 )
@@ -24,11 +36,35 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	out := flag.String("out", "", "write results to this file as well as stdout")
+
+	sweep := flag.Bool("sweep", false, "run the sweep grid instead of the paper suite")
+	sweepGrid := flag.String("sweep-grid", "full", "sweep grid: full or smoke")
+	sweepHTML := flag.String("sweep-html", "sweep.html", "write the consolidated sweep report here")
+	sweepWorkers := flag.Int("sweep-workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persist the run cache in this directory (cross-process warm starts)")
+	sweepShard := flag.String("sweep-shard", "", "compute only shard i/n of the grid (e.g. 0/2)")
+	sweepShardOut := flag.String("sweep-shard-out", "", "write the computed shard here (required with -sweep-shard)")
+	sweepMerge := flag.String("sweep-merge", "", "comma-separated shard files to merge into the report")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.Suite() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *sweepMerge != "" {
+		if err := runMerge(strings.Split(*sweepMerge, ","), *sweepHTML); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sweep {
+		if err := runSweep(*sweepGrid, *sweepHTML, *sweepWorkers, *cacheDir, *sweepShard, *sweepShardOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -64,4 +100,92 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// gridFor resolves the -sweep-grid flag.
+func gridFor(name string) (experiments.SweepConfig, error) {
+	switch name {
+	case "full":
+		return experiments.FullSweep(), nil
+	case "smoke":
+		return experiments.SmokeSweep(), nil
+	default:
+		return experiments.SweepConfig{}, fmt.Errorf("unknown sweep grid %q (have full, smoke)", name)
+	}
+}
+
+// runSweep executes the grid (whole, or one shard of a multi-process
+// split) and reports the scrapeable cache summary on stdout.
+func runSweep(gridName, htmlOut string, workers int, cacheDir, shardSpec, shardOut string) error {
+	cfg, err := gridFor(gridName)
+	if err != nil {
+		return err
+	}
+	if cacheDir != "" {
+		store, err := experiments.OpenCacheStore(cacheDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		loaded, skipped, rebuilt := store.LoadReport()
+		fmt.Printf("cache: dir=%s entries=%d skipped=%d rebuilt=%v\n",
+			cacheDir, loaded, skipped, rebuilt)
+		experiments.SetCacheStore(store)
+		defer experiments.SetCacheStore(nil)
+	}
+	start := time.Now()
+	if shardSpec != "" {
+		var shard, of int
+		if _, err := fmt.Sscanf(shardSpec, "%d/%d", &shard, &of); err != nil {
+			return fmt.Errorf("bad -sweep-shard %q (want i/n): %v", shardSpec, err)
+		}
+		if shardOut == "" {
+			return fmt.Errorf("-sweep-shard requires -sweep-shard-out")
+		}
+		sf, err := experiments.RunSweepShard(cfg, shard, of, workers)
+		if err != nil {
+			return err
+		}
+		if err := sf.WriteFile(shardOut); err != nil {
+			return err
+		}
+		fmt.Printf("sweep: shard=%d/%d rows=%d grid=%d %s elapsed=%v\n",
+			shard, of, len(sf.Rows), sf.GridLen, sf.Stats, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	res, err := experiments.RunSweep(cfg, workers)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(htmlOut, experiments.RenderSweepHTML(res), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s elapsed=%v report=%s\n",
+		res.Summary(), time.Since(start).Round(time.Millisecond), htmlOut)
+	return nil
+}
+
+// runMerge merges shard files exactly once and renders the report.
+func runMerge(paths []string, htmlOut string) error {
+	files := make([]*experiments.ShardFile, 0, len(paths))
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		sf, err := experiments.ReadShardFile(p)
+		if err != nil {
+			return err
+		}
+		files = append(files, sf)
+	}
+	res, err := experiments.MergeShards(files)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(htmlOut, experiments.RenderSweepHTML(res), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s merged=%d report=%s\n", res.Summary(), len(files), htmlOut)
+	return nil
 }

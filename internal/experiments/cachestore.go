@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mrdspark/internal/metrics"
+)
+
+// cacheKeyVersion versions the canonical runKey encoding. Bump it when
+// the meaning of a key component changes without its printed form
+// changing (a renamed policy kind, a re-tuned workload generator, a
+// simulator fix that alters results) — every stored entry is keyed
+// under the old version string and silently stops matching, so the
+// store rebuilds instead of replaying stale runs.
+const cacheKeyVersion = 1
+
+// cacheFileVersion versions the on-disk container format (header +
+// entry schema). A file with any other version is ignored wholesale
+// and rebuilt.
+const cacheFileVersion = 1
+
+// cacheFileMagic guards against pointing -cache-dir at a directory
+// holding some other JSONL file.
+const cacheFileMagic = "mrdspark-run-cache"
+
+// CacheFileName is the store's file name inside its directory.
+const CacheFileName = "runs.jsonl"
+
+// cacheHeader is the first line of the store file.
+type cacheHeader struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+}
+
+// cacheEntry is one persisted run. Key is the hex SHA-256 of the
+// canonical runKey string; ID is that canonical string itself, kept so
+// a hash collision (same Key, different ID) is detectable instead of
+// silently replaying the wrong run. Sum is the hex SHA-256 over the ID
+// and the run's JSON encoding together: an entry whose payload no
+// longer hashes to Sum was corrupted on disk and is ignored (the run
+// re-simulates and re-appends).
+type cacheEntry struct {
+	Key string      `json:"key"`
+	ID  string      `json:"id"`
+	Run metrics.Run `json:"run"`
+	Sum string      `json:"sum"`
+}
+
+// CacheStore persists memoized runs across processes: a single
+// append-only JSONL file, loaded fully at open, appended one fsync-free
+// O_APPEND write per new run (single-write appends do not interleave,
+// so two sweep shards can share one store file). The store is
+// content-addressed and never trusted: every entry carries its own
+// payload digest, the loader skips anything truncated or corrupted,
+// and a whole-file version or magic mismatch discards the file.
+type CacheStore struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	mem     map[string]cacheEntry // key hash -> entry
+	loaded  int                   // entries accepted at open
+	skipped int                   // lines rejected at open (corrupt/truncated)
+	rebuilt bool                  // file was discarded at open
+}
+
+// OpenCacheStore opens (creating if needed) the run store in dir. A
+// file that fails the header check — wrong magic, wrong version, or an
+// unparsable first line — is discarded and rewritten empty: a cache
+// can always be rebuilt, so no mismatch is worth failing over, but it
+// must never be trusted. A key-hash collision between two loaded
+// entries is the one loud failure: it means two different
+// configurations would replay the same run.
+func OpenCacheStore(dir string) (*CacheStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	s := &CacheStore{
+		path: filepath.Join(dir, CacheFileName),
+		mem:  make(map[string]cacheEntry),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	if st.Size() == 0 {
+		hdr, _ := json.Marshal(cacheHeader{Magic: cacheFileMagic, Version: cacheFileVersion})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cachestore: writing header: %w", err)
+		}
+	}
+	s.f = f
+	return s, nil
+}
+
+// load reads the existing file into memory, tolerating damage.
+func (s *CacheStore) load() error {
+	f, err := os.Open(s.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		// Empty file: treat as fresh.
+		return nil
+	}
+	var hdr cacheHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil ||
+		hdr.Magic != cacheFileMagic || hdr.Version != cacheFileVersion {
+		// Version/format mismatch: never trust, discard and rebuild.
+		s.rebuilt = true
+		return os.Remove(s.path)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn or truncated line (a crash mid-append). Later lines
+			// may still be whole — a concurrent shard's appends land after
+			// ours — so skip, don't stop.
+			s.skipped++
+			continue
+		}
+		if entrySum(e.ID, e.Run) != e.Sum {
+			// Content check failed: bytes rotted or were edited.
+			s.skipped++
+			continue
+		}
+		if prev, ok := s.mem[e.Key]; ok && prev.ID != e.ID {
+			return fmt.Errorf("cachestore: key hash collision in %s: %q vs %q both hash to %s",
+				s.path, prev.ID, e.ID, e.Key)
+		}
+		s.mem[e.Key] = e
+		s.loaded++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("cachestore: reading %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Get returns the stored run for the canonical key, if present. A
+// stored entry whose canonical ID differs from the requested one under
+// the same hash is a collision and fails loudly.
+func (s *CacheStore) Get(canonical string) (metrics.Run, bool, error) {
+	key := keyHash(canonical)
+	s.mu.Lock()
+	e, ok := s.mem[key]
+	s.mu.Unlock()
+	if !ok {
+		return metrics.Run{}, false, nil
+	}
+	if e.ID != canonical {
+		return metrics.Run{}, false, fmt.Errorf(
+			"cachestore: key hash collision: stored %q, requested %q, both hash to %s",
+			e.ID, canonical, key)
+	}
+	return e.Run, true, nil
+}
+
+// Put stores the run under the canonical key, appending it to the
+// file. Re-putting an equal entry is a no-op; a different run under an
+// already-stored key is a collision (or a non-deterministic simulator)
+// and fails loudly.
+func (s *CacheStore) Put(canonical string, run metrics.Run) error {
+	e := cacheEntry{Key: keyHash(canonical), ID: canonical, Run: run, Sum: entrySum(canonical, run)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.mem[e.Key]; ok {
+		if prev.ID != canonical {
+			return fmt.Errorf("cachestore: key hash collision: %q vs %q both hash to %s",
+				prev.ID, canonical, e.Key)
+		}
+		if prev.Sum != e.Sum {
+			return fmt.Errorf("cachestore: conflicting runs for key %q (sums %s vs %s)",
+				canonical, prev.Sum, e.Sum)
+		}
+		return nil
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("cachestore: appending to %s: %w", s.path, err)
+	}
+	s.mem[e.Key] = e
+	return nil
+}
+
+// Len reports the number of in-memory entries.
+func (s *CacheStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// LoadReport describes what opening the store found: entries accepted,
+// lines skipped as damaged, and whether the whole file was discarded
+// for a version/format mismatch.
+func (s *CacheStore) LoadReport() (loaded, skipped int, rebuilt bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loaded, s.skipped, s.rebuilt
+}
+
+// Close releases the append handle. The store must not be used after.
+func (s *CacheStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// keyHash is the store's content address for a canonical key string.
+func keyHash(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}
+
+// entrySum hashes an entry's canonical ID together with its run's JSON
+// encoding (metrics.Run marshals deterministically: fixed field order,
+// integer and string fields only), so damage to either is caught.
+func entrySum(canonical string, run metrics.Run) string {
+	b, err := json.Marshal(run)
+	if err != nil {
+		panic(fmt.Sprintf("cachestore: metrics.Run must marshal: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(canonical))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mrdspark/internal/metrics"
+)
+
+func testRun(name string, jct int64) metrics.Run {
+	return metrics.Run{Workload: name, Policy: "LRU", JCT: jct, Hits: 10, Misses: 3}
+}
+
+func TestCacheStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCacheStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("key-a", testRun("A", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("key-b", testRun("B", 200)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-putting the identical entry is a no-op, not a conflict.
+	if err := s.Put("key-a", testRun("A", 100)); err != nil {
+		t.Fatalf("idempotent re-put failed: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenCacheStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	loaded, skipped, rebuilt := s2.LoadReport()
+	if loaded != 2 || skipped != 0 || rebuilt {
+		t.Fatalf("reopen: loaded=%d skipped=%d rebuilt=%v, want 2/0/false", loaded, skipped, rebuilt)
+	}
+	run, ok, err := s2.Get("key-a")
+	if err != nil || !ok {
+		t.Fatalf("Get(key-a) = ok=%v err=%v", ok, err)
+	}
+	if run != testRun("A", 100) {
+		t.Fatalf("round-tripped run differs: %+v", run)
+	}
+	if _, ok, _ := s2.Get("key-missing"); ok {
+		t.Fatal("Get of an unstored key reported a hit")
+	}
+}
+
+// TestCacheStoreTruncated pins crash tolerance: a file cut mid-entry
+// (a process died while appending) loads every whole entry and skips
+// the torn one, without error.
+func TestCacheStoreTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCacheStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := s.Put(k, testRun(k, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	path := filepath.Join(dir, CacheFileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last entry in half.
+	lines := bytes.Split(bytes.TrimRight(b, "\n"), []byte("\n"))
+	last := lines[len(lines)-1]
+	truncated := bytes.Join(lines[:len(lines)-1], []byte("\n"))
+	truncated = append(truncated, '\n')
+	truncated = append(truncated, last[:len(last)/2]...)
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenCacheStore(dir)
+	if err != nil {
+		t.Fatalf("truncated store must open, got %v", err)
+	}
+	defer s2.Close()
+	loaded, skipped, rebuilt := s2.LoadReport()
+	if loaded != 2 || skipped != 1 || rebuilt {
+		t.Fatalf("truncated reopen: loaded=%d skipped=%d rebuilt=%v, want 2/1/false", loaded, skipped, rebuilt)
+	}
+	if _, ok, _ := s2.Get("k3"); ok {
+		t.Fatal("the torn entry must not be served")
+	}
+	// The store still accepts the re-simulated entry afterwards.
+	if err := s2.Put("k3", testRun("k3", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheStoreCorrupted pins the content-address check: an entry
+// whose payload was altered on disk no longer matches its digest and
+// is ignored, never trusted.
+func TestCacheStoreCorrupted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCacheStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", testRun("G", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bad", testRun("B", 9)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, CacheFileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the corrupt entry's workload name in place: still valid
+	// JSON, but the digest no longer matches.
+	edited := bytes.Replace(b, []byte(`"Workload":"B"`), []byte(`"Workload":"X"`), 1)
+	if bytes.Equal(edited, b) {
+		t.Fatal("test setup: corruption target not found")
+	}
+	if err := os.WriteFile(path, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenCacheStore(dir)
+	if err != nil {
+		t.Fatalf("corrupted store must open, got %v", err)
+	}
+	defer s2.Close()
+	loaded, skipped, _ := s2.LoadReport()
+	if loaded != 1 || skipped != 1 {
+		t.Fatalf("corrupted reopen: loaded=%d skipped=%d, want 1/1", loaded, skipped)
+	}
+	if _, ok, _ := s2.Get("bad"); ok {
+		t.Fatal("corrupted entry was served")
+	}
+	if _, ok, _ := s2.Get("good"); !ok {
+		t.Fatal("intact entry was lost")
+	}
+}
+
+// TestCacheStoreVersionMismatch pins the whole-file rule: any header
+// mismatch (future version, wrong magic, not even a header) discards
+// the file and rebuilds from nothing.
+func TestCacheStoreVersionMismatch(t *testing.T) {
+	for name, header := range map[string]string{
+		"future-version": `{"magic":"mrdspark-run-cache","version":999}`,
+		"wrong-magic":    `{"magic":"someone-elses-jsonl","version":1}`,
+		"no-header":      `this is not even json`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, CacheFileName)
+			content := header + "\n" + `{"key":"x","id":"y","run":{},"sum":"z"}` + "\n"
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := OpenCacheStore(dir)
+			if err != nil {
+				t.Fatalf("mismatched store must rebuild, got %v", err)
+			}
+			defer s.Close()
+			_, _, rebuilt := s.LoadReport()
+			if !rebuilt || s.Len() != 0 {
+				t.Fatalf("rebuilt=%v len=%d, want true/0", rebuilt, s.Len())
+			}
+			// The rebuilt file round-trips.
+			if err := s.Put("fresh", testRun("F", 1)); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			s2, err := OpenCacheStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if _, ok, _ := s2.Get("fresh"); !ok {
+				t.Fatal("entry written after rebuild was lost")
+			}
+		})
+	}
+}
+
+// TestCacheStoreCollisionFailsLoudly pins the one condition the store
+// must never paper over: two different canonical keys claiming the
+// same content address. A fabricated colliding entry (valid digest,
+// different ID, same key hash) must fail the open, not silently win.
+func TestCacheStoreCollisionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCacheStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("real-key", testRun("R", 4)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Append a forged entry under real-key's hash with a different
+	// canonical ID and an internally consistent digest.
+	forged := cacheEntry{
+		Key: keyHash("real-key"),
+		ID:  "forged-other-key",
+		Run: testRun("F", 5),
+		Sum: entrySum("forged-other-key", testRun("F", 5)),
+	}
+	line, err := json.Marshal(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, CacheFileName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := OpenCacheStore(dir); err == nil || !strings.Contains(err.Error(), "collision") {
+		t.Fatalf("colliding entries must fail the open loudly, got %v", err)
+	}
+}
+
+// TestCacheStorePutConflict pins the in-process half of the collision
+// rule: the same canonical key with different run content is a loud
+// error (a non-deterministic simulator or a stale key version), never
+// a silent overwrite.
+func TestCacheStorePutConflict(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCacheStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", testRun("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", testRun("A", 2)); err == nil {
+		t.Fatal("conflicting run content under one key must fail loudly")
+	}
+}

@@ -76,11 +76,10 @@ func ChaosSweep(cfg cluster.Config, names, presets []string, repls []int) []Chao
 					Replication: repl, Run: healthy, Overhead: 1}
 				i++
 				for _, preset := range presets {
-					sched, err := fault.Preset(preset, c.Nodes, stages)
+					sched, err := faultFor(preset, c.Nodes, stages, repl)
 					if err != nil {
 						panic(err)
 					}
-					sched.Replication = repl
 					run, reissues, stale := runChaos(name, c, p, sched)
 					rows[i] = ChaosRow{
 						Workload: name, Policy: p.Name(), Preset: preset,

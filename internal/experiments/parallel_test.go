@@ -3,7 +3,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mrdspark/internal/cluster"
 	"mrdspark/internal/workload"
@@ -31,6 +34,72 @@ func TestForEachPanicAttachesIndex(t *testing.T) {
 	}
 }
 
+// TestForEachReportsLowestFailingIndex pins the determinism half of
+// the fail-fast contract: when several indices panic, the re-raised
+// panic names the lowest one, regardless of which failure completed
+// first. Index 9 panics immediately; index 1 panics only after a
+// sleep, so "first panic wins" (the old behaviour) would name 9 on
+// essentially every run.
+func TestForEachReportsLowestFailingIndex(t *testing.T) {
+	for name, workers := range map[string]int{"sequential": 1, "parallel": 4} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected forEach to re-raise the worker panic")
+				}
+				s := fmt.Sprint(r)
+				if !strings.Contains(s, "fn(1) panicked") {
+					t.Fatalf("panic %q does not name the lowest failing index 1", s)
+				}
+			}()
+			forEachWorkers(workers, 16, func(i int) {
+				switch i {
+				case 1:
+					time.Sleep(30 * time.Millisecond)
+					panic("slow low failure")
+				case 9:
+					panic("fast high failure")
+				default:
+					time.Sleep(5 * time.Millisecond)
+				}
+			})
+		})
+	}
+}
+
+// TestForEachStopsFeedingAfterFailure pins the fail-fast half: after a
+// panic, no further indices are dispatched on either path. The old
+// parallel path kept feeding all remaining indices even though the
+// sweep was already doomed.
+func TestForEachStopsFeedingAfterFailure(t *testing.T) {
+	for name, workers := range map[string]int{"sequential": 1, "parallel": 4} {
+		t.Run(name, func(t *testing.T) {
+			const n = 256
+			var calls atomic.Int64
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("expected forEach to re-raise the worker panic")
+					}
+				}()
+				forEachWorkers(workers, n, func(i int) {
+					calls.Add(1)
+					if i == 0 {
+						panic("boom")
+					}
+					// Give the feeder time to observe the failure before the
+					// workers could drain the whole range.
+					time.Sleep(2 * time.Millisecond)
+				})
+			}()
+			if got := calls.Load(); got > n/2 {
+				t.Fatalf("dispatched %d of %d indices after the failure; feeding did not stop", got, n)
+			}
+		})
+	}
+}
+
 func TestRunCacheMemoizes(t *testing.T) {
 	ResetRunCache()
 	defer ResetRunCache()
@@ -42,14 +111,14 @@ func TestRunCacheMemoizes(t *testing.T) {
 	cfg := cluster.Main().WithCache(64 << 20)
 
 	a := runOne(spec, cfg, SpecLRU)
-	if n := runCacheLen(); n != 1 {
+	if n := RunCacheLen(); n != 1 {
 		t.Fatalf("after first run: %d cache entries, want 1", n)
 	}
 	b := runOne(spec, cfg, SpecLRU)
 	if a != b {
 		t.Fatalf("cached replay differs from original run:\n a=%+v\n b=%+v", a, b)
 	}
-	if n := runCacheLen(); n != 1 {
+	if n := RunCacheLen(); n != 1 {
 		t.Fatalf("repeat run grew the cache to %d entries", n)
 	}
 
@@ -62,13 +131,63 @@ func TestRunCacheMemoizes(t *testing.T) {
 	runOne(seeded, cfg, SpecLRU)
 	runOne(spec, cfg, SpecMRD)
 	runOne(spec, cfg.WithCache(32<<20), SpecLRU)
-	if n := runCacheLen(); n != 4 {
+	if n := RunCacheLen(); n != 4 {
 		t.Fatalf("distinct configurations share entries: %d, want 4", n)
 	}
 }
 
-func runCacheLen() int {
-	n := 0
-	runCache.Range(func(_, _ any) bool { n++; return true })
-	return n
+// TestRunCachedSingleflight pins the concurrent-miss gate: N callers
+// racing on one cold key must produce exactly one simulation, with
+// everyone receiving the identical run. Before the gate, each racer
+// simulated the full run and last-store won.
+func TestRunCachedSingleflight(t *testing.T) {
+	ResetRunCache()
+	ResetCacheStats()
+	defer ResetRunCache()
+	defer ResetCacheStats()
+
+	spec, err := workload.Build("KM", workload.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Main().WithCache(64 << 20)
+
+	// Widen the race window: every real simulation stalls long enough
+	// for all racers to reach the miss path.
+	simHook = func() { time.Sleep(50 * time.Millisecond) }
+	defer func() { simHook = nil }()
+
+	const racers = 16
+	var wg sync.WaitGroup
+	results := make([]string, racers)
+	for k := 0; k < racers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			run, err := RunCached(spec, cfg, SpecLRU)
+			if err != nil {
+				results[k] = "error: " + err.Error()
+				return
+			}
+			results[k] = run.String()
+		}(k)
+	}
+	wg.Wait()
+
+	for k := 1; k < racers; k++ {
+		if results[k] != results[0] {
+			t.Fatalf("racer %d saw a different run:\n %s\n vs\n %s", k, results[k], results[0])
+		}
+	}
+	stats := ReadCacheStats()
+	if stats.Simulated != 1 {
+		t.Fatalf("concurrent misses on one key simulated %d times, want exactly 1 (stats: %s)",
+			stats.Simulated, stats)
+	}
+	if got := stats.Simulated + stats.MemoHits + stats.Waits; got != racers {
+		t.Fatalf("stats do not account for all %d racers: %s", racers, stats)
+	}
+	if n := RunCacheLen(); n != 1 {
+		t.Fatalf("cache holds %d entries after singleflight fill, want 1", n)
+	}
 }

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mrdspark/internal/cluster"
 	"mrdspark/internal/core"
+	"mrdspark/internal/fault"
 	"mrdspark/internal/metrics"
 	"mrdspark/internal/policy"
 	"mrdspark/internal/refdist"
@@ -99,26 +101,139 @@ func (p PolicySpec) Name() string {
 	return name
 }
 
+// faultKey identifies the fault schedule a run was simulated under.
+// The zero value is the healthy, unreplicated run. Presets are seeded
+// and scaled deterministically from (preset, nodes, stages), so the
+// name plus the replication factor is a complete identity.
+type faultKey struct {
+	Preset string
+	Repl   int
+}
+
 // runKey is the complete identity of one simulation: workload
-// generation is a pure function of (Name, Params), the simulator is
+// generation is a pure function of (Name, Params), fault presets are
+// seeded pure functions of (name, nodes, stages), the simulator is
 // deterministic, and nothing mutates a Spec's graph after Build — so
 // equal keys always produce the same metrics.Run. Every field is
-// comparable by construction (PolicySpec and Params are flat structs;
-// metrics.Run keeps FaultWarning a string for the same reason).
+// comparable by construction (PolicySpec, Params and faultKey are flat
+// structs; metrics.Run keeps FaultWarning a string for the same
+// reason).
 type runKey struct {
 	workload string
 	params   workload.Params
 	cfg      cluster.Config
 	policy   PolicySpec
+	fault    faultKey
+}
+
+// canonical renders the key as a stable string: the persistent cache
+// hashes it, and stores it next to the hash so collisions are
+// detectable. %+v over flat structs prints every field by name in
+// declaration order, so adding a field to any component type changes
+// every canonical string — which retires stale on-disk entries
+// automatically (they simply stop matching; the store rebuilds).
+func (k runKey) canonical() string {
+	return fmt.Sprintf("v%d|%s|%+v|%+v|%+v|%+v",
+		cacheKeyVersion, k.workload, k.params, k.cfg, k.policy, k.fault)
 }
 
 // runCache memoizes completed simulations across the whole experiment
 // suite, keyed by runKey. Suite entries sharing a configuration — most
 // commonly the unbounded-cache working-set probe that several
-// experiments issue for the same workload — simulate once. Concurrent
-// misses on the same key may race to simulate; both compute the
-// identical Run, so last-store-wins is harmless.
+// experiments issue for the same workload — simulate once.
 var runCache sync.Map // runKey -> metrics.Run
+
+// inflight gates concurrent cache fills per key (singleflight): the
+// first miss becomes the leader and simulates; every concurrent miss
+// on the same key waits for the leader's result instead of racing a
+// duplicate simulation. Before the gate, racing misses each simulated
+// the full run — harmless for correctness (the results are identical)
+// but ruinous for the sweep fabric, where thousands of grid points
+// share working-set probes.
+var inflight sync.Map // runKey -> *flightCall
+
+type flightCall struct {
+	done chan struct{}
+	run  metrics.Run
+	err  error
+}
+
+// cacheStore, when set, persists simulated runs across processes.
+var (
+	cacheStoreMu sync.RWMutex
+	cacheStore   *CacheStore
+)
+
+// SetCacheStore installs (or, with nil, removes) the persistent run
+// store consulted and appended by every cache miss.
+func SetCacheStore(s *CacheStore) {
+	cacheStoreMu.Lock()
+	cacheStore = s
+	cacheStoreMu.Unlock()
+}
+
+func currentCacheStore() *CacheStore {
+	cacheStoreMu.RLock()
+	defer cacheStoreMu.RUnlock()
+	return cacheStore
+}
+
+// CacheStats counts how runs were served. The three counters partition
+// every RunCached/RunCachedFault call: a memoized replay, a persistent
+// on-disk replay, or a real simulation. Waits counts callers that
+// blocked on another goroutine's in-flight simulation of the same key
+// (they are also memo hits in spirit, but are tallied separately so
+// the singleflight test can pin "exactly one simulation").
+type CacheStats struct {
+	MemoHits  int64
+	DiskHits  int64
+	Simulated int64
+	Waits     int64
+}
+
+var (
+	statMemoHits  atomic.Int64
+	statDiskHits  atomic.Int64
+	statSimulated atomic.Int64
+	statWaits     atomic.Int64
+)
+
+// ReadCacheStats returns the counters accumulated since the last
+// reset.
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		MemoHits:  statMemoHits.Load(),
+		DiskHits:  statDiskHits.Load(),
+		Simulated: statSimulated.Load(),
+		Waits:     statWaits.Load(),
+	}
+}
+
+// ResetCacheStats zeroes the counters.
+func ResetCacheStats() {
+	statMemoHits.Store(0)
+	statDiskHits.Store(0)
+	statSimulated.Store(0)
+	statWaits.Store(0)
+}
+
+// Warm reports the fraction of runs served without simulating.
+func (s CacheStats) Warm() float64 {
+	total := s.MemoHits + s.DiskHits + s.Simulated + s.Waits
+	if total == 0 {
+		return 0
+	}
+	return float64(total-s.Simulated) / float64(total)
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("simulated=%d memo-hits=%d disk-hits=%d waits=%d warm=%.1f%%",
+		s.Simulated, s.MemoHits, s.DiskHits, s.Waits, 100*s.Warm())
+}
+
+// simHook, when non-nil, runs at the start of every real simulation
+// (test seam: the singleflight test widens the race window with it).
+var simHook func()
 
 // ResetRunCache empties the memoized-run cache (test helper).
 func ResetRunCache() {
@@ -147,17 +262,119 @@ func RunCacheLen() int {
 // the capacity planner's bisection probes in particular — that want
 // the memoization without the suite's panic-on-error contract.
 func RunCached(spec *workload.Spec, cfg cluster.Config, p PolicySpec) (metrics.Run, error) {
-	key := runKey{workload: spec.Name, params: spec.Params, cfg: cfg, policy: p}
+	return RunCachedFault(spec, cfg, p, "", 1)
+}
+
+// RunCachedFault is RunCached under a named fault preset at a
+// replication factor — the sweep fabric's chaos axis. An empty or
+// "healthy" preset at replication <= 1 normalizes to the plain healthy
+// key, so the sweep's healthy leg and direct RunCached callers share
+// cache entries.
+func RunCachedFault(spec *workload.Spec, cfg cluster.Config, p PolicySpec, preset string, repl int) (metrics.Run, error) {
+	if repl <= 0 {
+		repl = 1
+	}
+	fk := faultKey{Preset: preset, Repl: repl}
+	if (preset == "" || preset == "healthy") && repl == 1 {
+		fk = faultKey{}
+	}
+	key := runKey{workload: spec.Name, params: spec.Params, cfg: cfg, policy: p, fault: fk}
 	if v, ok := runCache.Load(key); ok {
+		statMemoHits.Add(1)
 		return v.(metrics.Run), nil
 	}
-	run, err := sim.Run(spec.Graph, cfg, p.Factory(spec), spec.Name)
+	c := &flightCall{done: make(chan struct{})}
+	if actual, loaded := inflight.LoadOrStore(key, c); loaded {
+		ac := actual.(*flightCall)
+		<-ac.done
+		if ac.err != nil {
+			return metrics.Run{}, ac.err
+		}
+		statWaits.Add(1)
+		return ac.run, nil
+	}
+	c.run, c.err = fillCache(key, spec, p)
+	if c.err == nil {
+		runCache.Store(key, c.run)
+	}
+	inflight.Delete(key)
+	close(c.done)
+	return c.run, c.err
+}
+
+// fillCache resolves a cache miss as the singleflight leader: consult
+// the persistent store first, simulate only on a true miss, and append
+// fresh results back to the store.
+func fillCache(key runKey, spec *workload.Spec, p PolicySpec) (metrics.Run, error) {
+	store := currentCacheStore()
+	canonical := ""
+	if store != nil {
+		canonical = key.canonical()
+		if run, ok, err := store.Get(canonical); err != nil {
+			return metrics.Run{}, err
+		} else if ok {
+			statDiskHits.Add(1)
+			return run, nil
+		}
+	}
+	if simHook != nil {
+		simHook()
+	}
+	statSimulated.Add(1)
+	run, err := simulate(key, spec, p)
 	if err != nil {
 		return metrics.Run{}, err
 	}
-	run.Policy = p.Name()
-	runCache.Store(key, run)
+	if store != nil {
+		if err := store.Put(canonical, run); err != nil {
+			return metrics.Run{}, err
+		}
+	}
 	return run, nil
+}
+
+// simulate executes one run for real, honoring the key's fault
+// dimension.
+func simulate(key runKey, spec *workload.Spec, p PolicySpec) (metrics.Run, error) {
+	var run metrics.Run
+	if key.fault == (faultKey{}) {
+		var err error
+		run, err = sim.Run(spec.Graph, key.cfg, p.Factory(spec), spec.Name)
+		if err != nil {
+			return metrics.Run{}, err
+		}
+	} else {
+		sched, err := faultFor(key.fault.Preset, key.cfg.Nodes, spec.Graph.ActiveStages(), key.fault.Repl)
+		if err != nil {
+			return metrics.Run{}, err
+		}
+		s, err := sim.New(spec.Graph, key.cfg, p.Factory(spec), spec.Name)
+		if err != nil {
+			return metrics.Run{}, err
+		}
+		if err := s.SetOptions(sim.Options{Fault: sched}); err != nil {
+			return metrics.Run{}, err
+		}
+		run = s.Run()
+	}
+	run.Policy = p.Name()
+	return run, nil
+}
+
+// faultFor builds the seeded schedule for a preset at a replication
+// factor, scaled to the cluster and DAG. "healthy" (and "") skip the
+// preset registry: the baseline schedule only pays replication writes,
+// anchoring chaos overhead columns (see healthySchedule).
+func faultFor(preset string, nodes, stages, repl int) (*fault.Schedule, error) {
+	if preset == "" || preset == "healthy" {
+		return healthySchedule(repl), nil
+	}
+	sched, err := fault.Preset(preset, nodes, stages)
+	if err != nil {
+		return nil, err
+	}
+	sched.Replication = repl
+	return sched, nil
 }
 
 // runOne simulates the workload under the policy on the cluster,

@@ -119,8 +119,12 @@ func Suite() []Experiment {
 }
 
 // RunSuite executes the selected experiments (nil or empty selection
-// means all), writing each section to w with timing lines.
+// means all), writing each section to w with timing lines and a final
+// run-cache accounting line: the suite shares the same memoized (and,
+// when installed, persistent) run cache as the sweep fabric, so the
+// line shows how much of the suite replayed instead of simulating.
 func RunSuite(w io.Writer, only map[string]bool) error {
+	before := ReadCacheStats()
 	for _, e := range Suite() {
 		if len(only) > 0 && !only[e.ID] {
 			continue
@@ -131,5 +135,11 @@ func RunSuite(w io.Writer, only map[string]bool) error {
 			return err
 		}
 	}
-	return nil
+	stats := ReadCacheStats()
+	stats.MemoHits -= before.MemoHits
+	stats.DiskHits -= before.DiskHits
+	stats.Simulated -= before.Simulated
+	stats.Waits -= before.Waits
+	_, err := fmt.Fprintf(w, "== run cache: %s\n", stats)
+	return err
 }

@@ -1,0 +1,110 @@
+package metrics
+
+import "fmt"
+
+// Accum is an order-independent, mergeable aggregate over Runs — the
+// partition-then-merge form the sweep fabric reduces per-shard row
+// tables with. Every field is an exact integer sum (or min/max), so
+// Add and Merge are commutative and associative bit-for-bit: a shard
+// may accumulate its own rows and merge with its siblings in any
+// order, and the result is identical to one sequential pass. Derived
+// ratios (means, hit rate) are computed only at render time, from the
+// merged integers, so no float ever crosses a merge boundary.
+type Accum struct {
+	N int64 `json:"n"`
+
+	SumJCT int64 `json:"sumJct"`
+	MinJCT int64 `json:"minJct"`
+	MaxJCT int64 `json:"maxJct"`
+
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	PrefetchIssued int64 `json:"prefetchIssued"`
+	PrefetchUsed   int64 `json:"prefetchUsed"`
+	Recomputes     int64 `json:"recomputes"`
+
+	DiskReadBytes  int64 `json:"diskReadBytes"`
+	NetReadBytes   int64 `json:"netReadBytes"`
+	RecomputeBytes int64 `json:"recomputeBytes"`
+}
+
+// Add folds one run into the accumulator.
+func (a *Accum) Add(r Run) {
+	if a.N == 0 || r.JCT < a.MinJCT {
+		a.MinJCT = r.JCT
+	}
+	if a.N == 0 || r.JCT > a.MaxJCT {
+		a.MaxJCT = r.JCT
+	}
+	a.N++
+	a.SumJCT += r.JCT
+	a.Hits += r.Hits
+	a.Misses += r.Misses
+	a.Evictions += r.Evictions
+	a.PrefetchIssued += r.PrefetchIssued
+	a.PrefetchUsed += r.PrefetchUsed
+	a.Recomputes += r.Recomputes
+	a.DiskReadBytes += r.DiskReadBytes
+	a.NetReadBytes += r.NetReadBytes
+	a.RecomputeBytes += r.RecomputeBytes
+}
+
+// Merge folds another accumulator in. Merging a zero Accum is the
+// identity.
+func (a *Accum) Merge(b Accum) {
+	if b.N == 0 {
+		return
+	}
+	if a.N == 0 || b.MinJCT < a.MinJCT {
+		a.MinJCT = b.MinJCT
+	}
+	if a.N == 0 || b.MaxJCT > a.MaxJCT {
+		a.MaxJCT = b.MaxJCT
+	}
+	a.N += b.N
+	a.SumJCT += b.SumJCT
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Evictions += b.Evictions
+	a.PrefetchIssued += b.PrefetchIssued
+	a.PrefetchUsed += b.PrefetchUsed
+	a.Recomputes += b.Recomputes
+	a.DiskReadBytes += b.DiskReadBytes
+	a.NetReadBytes += b.NetReadBytes
+	a.RecomputeBytes += b.RecomputeBytes
+}
+
+// MeanJCT returns the mean job completion time in simulated
+// microseconds, or 0 for an empty accumulator.
+func (a Accum) MeanJCT() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return float64(a.SumJCT) / float64(a.N)
+}
+
+// HitRatio returns the pooled cache hit ratio (total hits over total
+// cached-block reads), or 0 with no reads.
+func (a Accum) HitRatio() float64 {
+	total := a.Hits + a.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(a.Hits) / float64(total)
+}
+
+// PrefetchAccuracy returns the pooled used/issued prefetch ratio, or 0
+// when nothing was prefetched.
+func (a Accum) PrefetchAccuracy() float64 {
+	if a.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(a.PrefetchUsed) / float64(a.PrefetchIssued)
+}
+
+// String renders the accumulator on one line.
+func (a Accum) String() string {
+	return fmt.Sprintf("n=%d meanJCT=%.0fµs hit=%.1f%% evict=%d prefetch=%d/%d",
+		a.N, a.MeanJCT(), 100*a.HitRatio(), a.Evictions, a.PrefetchUsed, a.PrefetchIssued)
+}

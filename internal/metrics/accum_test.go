@@ -1,0 +1,103 @@
+package metrics
+
+import "testing"
+
+// accumRuns is a fixed set of runs with deliberately awkward values:
+// a negative-free spread of JCTs with min and max away from the ends,
+// and zero-valued prefetch fields on some runs.
+func accumRuns() []Run {
+	return []Run{
+		{JCT: 500, Hits: 10, Misses: 5, Evictions: 2, PrefetchIssued: 4, PrefetchUsed: 3, Recomputes: 1, DiskReadBytes: 100, NetReadBytes: 10, RecomputeBytes: 7},
+		{JCT: 100, Hits: 3, Misses: 9, Evictions: 0, Recomputes: 4, DiskReadBytes: 50},
+		{JCT: 900, Hits: 0, Misses: 0, Evictions: 11, PrefetchIssued: 2, NetReadBytes: 33},
+		{JCT: 300, Hits: 7, Misses: 1, PrefetchIssued: 1, PrefetchUsed: 1, RecomputeBytes: 12},
+		{JCT: 700, Hits: 2, Misses: 2, Evictions: 5, Recomputes: 2, DiskReadBytes: 8, NetReadBytes: 8, RecomputeBytes: 8},
+	}
+}
+
+// TestAccumMergeOrderIndependent pins the fabric's reduction contract:
+// any partition of the runs into sub-accumulators, merged in any
+// order, equals the sequential fold.
+func TestAccumMergeOrderIndependent(t *testing.T) {
+	runs := accumRuns()
+
+	var want Accum
+	for _, r := range runs {
+		want.Add(r)
+	}
+
+	// Every split point, merged both left-into-right and
+	// right-into-left.
+	for cut := 0; cut <= len(runs); cut++ {
+		var left, right Accum
+		for _, r := range runs[:cut] {
+			left.Add(r)
+		}
+		for _, r := range runs[cut:] {
+			right.Add(r)
+		}
+
+		lr := left
+		lr.Merge(right)
+		if lr != want {
+			t.Fatalf("cut=%d left.Merge(right) = %+v, want %+v", cut, lr, want)
+		}
+		rl := right
+		rl.Merge(left)
+		if rl != want {
+			t.Fatalf("cut=%d right.Merge(left) = %+v, want %+v", cut, rl, want)
+		}
+	}
+
+	// Three-way, merged in a scrambled order.
+	var a, b, c Accum
+	a.Add(runs[3])
+	b.Add(runs[0])
+	b.Add(runs[4])
+	c.Add(runs[1])
+	c.Add(runs[2])
+	c.Merge(a)
+	c.Merge(b)
+	if c != want {
+		t.Fatalf("scrambled three-way merge = %+v, want %+v", c, want)
+	}
+}
+
+func TestAccumMinMax(t *testing.T) {
+	var a Accum
+	for _, r := range accumRuns() {
+		a.Add(r)
+	}
+	if a.MinJCT != 100 || a.MaxJCT != 900 {
+		t.Fatalf("min/max = %d/%d, want 100/900", a.MinJCT, a.MaxJCT)
+	}
+	if a.N != 5 || a.SumJCT != 2500 {
+		t.Fatalf("n/sum = %d/%d, want 5/2500", a.N, a.SumJCT)
+	}
+	if got := a.MeanJCT(); got != 500 {
+		t.Fatalf("mean = %v, want 500", got)
+	}
+}
+
+func TestAccumZeroIdentity(t *testing.T) {
+	var filled Accum
+	filled.Add(accumRuns()[0])
+	before := filled
+
+	filled.Merge(Accum{})
+	if filled != before {
+		t.Fatalf("merging a zero Accum changed the receiver: %+v vs %+v", filled, before)
+	}
+
+	var zero Accum
+	zero.Merge(before)
+	if zero != before {
+		t.Fatalf("merging into a zero Accum lost data: %+v vs %+v", zero, before)
+	}
+
+	// Zero-value derived ratios must not divide by zero.
+	var empty Accum
+	if empty.MeanJCT() != 0 || empty.HitRatio() != 0 || empty.PrefetchAccuracy() != 0 {
+		t.Fatal("empty accumulator ratios must be 0")
+	}
+}
